@@ -1,0 +1,12 @@
+"""Pytest configuration for the benchmark harness.
+
+Each benchmark reproduces one table or figure of the paper; they are run once
+per invocation (``benchmark.pedantic(rounds=1)``) because a single "round" is
+a full training run, not a micro-benchmark.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `import common` work regardless of the invocation directory.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,71 @@
+"""Quantum vs classical learning at a matched parameter budget (Table 2 story).
+
+Trains the layer-wise QuGeoVQC and the CNN-LY baseline on the same
+physics-guided scaled dataset and compares SSIM / MSE and parameter counts.
+The paper's Table 2 reports the 576-parameter Q-M-LY beating ~620-parameter
+CNNs; at this miniature scale the point is that the two model families are
+trained and evaluated through the exact same harness.
+
+Run with::
+
+    python examples/quantum_vs_classical.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    ClassicalTrainer,
+    ForwardModelingScaler,
+    QuantumTrainer,
+    QuGeoVQC,
+    build_cnn_ly,
+)
+from repro.core.config import QuGeoDataConfig, QuGeoVQCConfig, TrainingConfig
+from repro.data import build_flatvel_dataset, train_test_split
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    print("Preparing physics-guided scaled data (Q-D-FW)...")
+    dataset = build_flatvel_dataset(n_samples=20, velocity_shape=(32, 32),
+                                    n_time_steps=240, n_sources=2, rng=2)
+    train, test = train_test_split(dataset, train_size=15, rng=2)
+    config = QuGeoDataConfig(scaled_seismic_shape=(1, 8, 8),
+                             scaled_velocity_shape=(6, 6))
+    scaler = ForwardModelingScaler(config, simulation_shape=(24, 24),
+                                   simulation_steps=192)
+    scaled_train = scaler.scale_dataset(train)
+    scaled_test = scaler.scale_dataset(test)
+
+    print("Training Q-M-LY (variational quantum circuit)...")
+    quantum_model = QuGeoVQC(QuGeoVQCConfig(n_groups=1, qubits_per_group=6,
+                                            n_blocks=4, decoder="layer",
+                                            output_shape=(6, 6)), rng=3)
+    quantum_result = QuantumTrainer(
+        TrainingConfig(epochs=30, learning_rate=0.1, batch_size=5,
+                       eval_every=10, seed=0)).train(quantum_model,
+                                                     scaled_train, scaled_test)
+
+    print("Training CNN-LY (classical baseline)...")
+    classical_model = build_cnn_ly(config.scaled_seismic_size, (6, 6), rng=3)
+    classical_result = ClassicalTrainer(
+        TrainingConfig(epochs=80, learning_rate=0.01, batch_size=5,
+                       eval_every=20, seed=0)).train(classical_model,
+                                                     scaled_train, scaled_test)
+
+    rows = [
+        ["Q-M-LY", quantum_model.num_parameters(),
+         quantum_result.final_metrics["test_ssim"],
+         quantum_result.final_metrics["test_mse"]],
+        ["CNN-LY", classical_model.num_parameters(),
+         classical_result.final_metrics["test_ssim"],
+         classical_result.final_metrics["test_mse"]],
+    ]
+    print(format_table(["model", "parameters", "SSIM", "MSE"], rows,
+                       title="Quantum vs classical at a matched parameter "
+                             "budget (paper Table 2: Q-M-LY 0.893 vs CNN-LY "
+                             "0.871 SSIM on Q-D-FW)"))
+
+
+if __name__ == "__main__":
+    main()

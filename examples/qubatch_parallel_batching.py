@@ -1,0 +1,65 @@
+"""QuBatch: process several seismic samples in one circuit execution.
+
+Demonstrates the SIMD property of Section 3.3 of the paper: because the
+ansatz acts only on the data qubits, encoding 2^N samples onto N extra batch
+qubits evaluates the same parameterised unitary on every sample at once.
+The script shows (1) that the batched predictions equal the per-sample
+predictions of the unbatched model with identical parameters, and (2) the
+qubit / circuit-execution accounting for different batch sizes (Table 1's
+"extra qubits" column).
+
+Run with::
+
+    python examples/qubatch_parallel_batching.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import QuBatchVQC, QuGeoVQC
+from repro.core.config import QuGeoVQCConfig
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    samples = [rng.normal(size=64) for _ in range(4)]
+
+    base = QuGeoVQCConfig(n_groups=1, qubits_per_group=6, n_blocks=3,
+                          decoder="layer", output_shape=(6, 6))
+    plain = QuGeoVQC(base, rng=11)
+
+    print("Checking that QuBatch reproduces the unbatched predictions...")
+    rows = []
+    for n_batch_qubits in (1, 2):
+        config = QuGeoVQCConfig(n_groups=1, qubits_per_group=6, n_blocks=3,
+                                decoder="layer", output_shape=(6, 6),
+                                n_batch_qubits=n_batch_qubits)
+        batched = QuBatchVQC(config, rng=12)
+        batched.theta.data = plain.theta.data.copy()
+
+        batch = samples[:batched.batch_capacity]
+        expected = np.stack([plain.predict(s) for s in batch])
+        actual = batched.predict_batch(batch)
+        max_error = float(np.abs(expected - actual).max())
+
+        rows.append([2**n_batch_qubits, n_batch_qubits, batched.n_qubits,
+                     len(batch), 1, max_error])
+
+    print(format_table(
+        ["batch size", "extra qubits", "total qubits", "samples processed",
+         "circuit executions", "max |batched - unbatched|"],
+        rows,
+        title="QuBatch accounting (paper Table 1: batch 2 and 4 need 1 and 2 "
+              "extra qubits)"))
+    print("\nThe predictions agree to numerical precision: the replicated "
+          "U(theta) blocks of Figure 3 in the paper are exactly what the "
+          "batched register implements.  During *training*, the joint "
+          "normalisation of the batched amplitudes slightly reduces each "
+          "sample's dynamic range, which is the precision/qubit trade-off "
+          "Table 1 quantifies.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""QuGeo core: the paper's contribution assembled from the substrates.
+
+* :mod:`repro.core.config` — configuration dataclasses for every component,
+* :mod:`repro.core.data_scaling` — QuGeoData: ``D-Sample``, ``Q-D-FW`` and
+  ``Q-D-CNN`` data-scaling pipelines,
+* :mod:`repro.core.vqc_model` — the QuGeoVQC model (ST encoder, U3+CU3
+  ansatz, pixel-wise / layer-wise decoders) with analytic gradients,
+* :mod:`repro.core.qubatch` — QuBatch batched forward/backward passes,
+* :mod:`repro.core.classical_models` — parameter-matched CNN baselines
+  (CNN-PX / CNN-LY) and the Q-D-CNN compressor,
+* :mod:`repro.core.training` — trainers for quantum and classical models,
+* :mod:`repro.core.experiment` — per-figure / per-table experiment harness,
+* :mod:`repro.core.framework` — the end-to-end :class:`QuGeo` pipeline.
+"""
+
+from repro.core.config import (
+    QuGeoDataConfig,
+    QuGeoVQCConfig,
+    TrainingConfig,
+    QuGeoConfig,
+)
+from repro.core.data_scaling import (
+    ScaledSample,
+    DSampleScaler,
+    ForwardModelingScaler,
+    CNNScaler,
+    scale_dataset,
+)
+from repro.core.vqc_model import QuGeoVQC
+from repro.core.qubatch import QuBatchVQC
+from repro.core.classical_models import (
+    build_cnn_px,
+    build_cnn_ly,
+    CompressionCNN,
+    ClassicalFWIModel,
+)
+from repro.core.training import QuantumTrainer, ClassicalTrainer, TrainingResult
+from repro.core.framework import QuGeo
+from repro.core.experiment import ExperimentResult, evaluate_model
+
+__all__ = [
+    "QuGeoDataConfig",
+    "QuGeoVQCConfig",
+    "TrainingConfig",
+    "QuGeoConfig",
+    "ScaledSample",
+    "DSampleScaler",
+    "ForwardModelingScaler",
+    "CNNScaler",
+    "scale_dataset",
+    "QuGeoVQC",
+    "QuBatchVQC",
+    "build_cnn_px",
+    "build_cnn_ly",
+    "CompressionCNN",
+    "ClassicalFWIModel",
+    "QuantumTrainer",
+    "ClassicalTrainer",
+    "TrainingResult",
+    "QuGeo",
+    "ExperimentResult",
+    "evaluate_model",
+]

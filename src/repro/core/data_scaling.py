@@ -1,0 +1,264 @@
+"""QuGeoData: physics-guided data scaling (Section 3.1 of the paper).
+
+Quantum devices with <16 qubits can only amplitude-encode a few hundred
+values, so OpenFWI's ``5 x 1000 x 70`` seismic cubes and ``70 x 70`` velocity
+maps must be shrunk.  Three scalers are provided:
+
+* :class:`DSampleScaler` — the baseline: nearest-neighbour resampling of both
+  the waveform cube and the velocity map ("D-Sample").
+* :class:`ForwardModelingScaler` — the physics-guided method ("Q-D-FW"):
+  downsample the velocity map, then *re-simulate* the seismic data on the
+  coarse model with a source wavelet whose dominant frequency is lowered so
+  the coarser sampling does not alias the wavefield (the paper lowers 15 Hz
+  to 8 Hz).  Requires the velocity map, so it is a training-time tool.
+* :class:`CNNScaler` — the learning-based method ("Q-D-CNN"): a LeNet-like
+  CNN trained to map raw seismic data directly to the physics-guided scaled
+  representation, usable at inference time when no velocity map exists.
+
+Every scaler produces :class:`ScaledSample` objects whose seismic payload has
+the configured scaled shape and whose velocity map is normalised to [0, 1].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.classical_models import CompressionCNN
+from repro.core.config import QuGeoDataConfig
+from repro.data.dataset import FWIDataset, FWISample
+from repro.data.normalization import VelocityNormalizer
+from repro.data.resample import bilinear_resample, nearest_neighbor_resample
+from repro.nn import Adam, CosineAnnealingLR, MSELoss, Tensor
+from repro.seismic.forward_modeling import forward_model_shot_gather
+from repro.seismic.wavelets import dominant_frequency
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class ScaledSample(FWISample):
+    """A training example after QuGeoData scaling.
+
+    ``seismic`` has the configured scaled shape (e.g. ``4 x 8 x 8``) and
+    ``velocity`` is the scaled map normalised to [0, 1].  ``metadata`` keeps
+    the scaling method and provenance of the original sample.
+    """
+
+    @property
+    def method(self) -> str:
+        """Name of the scaling method that produced this sample."""
+        return str(self.metadata.get("scaling_method", "unknown"))
+
+    def seismic_vector(self) -> np.ndarray:
+        """The scaled seismic data flattened for the quantum encoder."""
+        return self.seismic.reshape(-1)
+
+
+class BaseScaler:
+    """Shared plumbing of the three QuGeoData scalers."""
+
+    #: Short name used in result tables (matches the paper's labels).
+    name = "base"
+
+    def __init__(self, config: QuGeoDataConfig = None) -> None:
+        self.config = config or QuGeoDataConfig()
+        self.normalizer = VelocityNormalizer(*self.config.velocity_range)
+
+    # -- velocity ------------------------------------------------------- #
+    def scale_velocity(self, velocity: np.ndarray,
+                       method: str = "nearest") -> np.ndarray:
+        """Downsample a physical velocity map and normalise it to [0, 1]."""
+        velocity = np.asarray(velocity, dtype=np.float64)
+        target = self.config.scaled_velocity_shape
+        if velocity.shape != tuple(target):
+            if method == "nearest":
+                velocity = nearest_neighbor_resample(velocity, target)
+            else:
+                velocity = bilinear_resample(velocity, target)
+        return np.clip(self.normalizer.normalize(velocity), 0.0, 1.0)
+
+    # -- seismic -------------------------------------------------------- #
+    def scale_seismic(self, sample: FWISample) -> np.ndarray:
+        raise NotImplementedError
+
+    def scale_sample(self, sample: FWISample) -> ScaledSample:
+        """Scale one full-resolution sample."""
+        seismic = self.scale_seismic(sample)
+        velocity = self.scale_velocity(sample.velocity, method=self.velocity_method)
+        metadata = dict(sample.metadata)
+        metadata["scaling_method"] = self.name
+        return ScaledSample(seismic=seismic, velocity=velocity, metadata=metadata)
+
+    def scale_dataset(self, dataset: Iterable[FWISample]) -> FWIDataset:
+        """Scale every sample of ``dataset``."""
+        scaled = [self.scale_sample(sample) for sample in dataset]
+        return FWIDataset(scaled, name=f"scaled-{self.name}")
+
+    #: Velocity-map resampling method used by :meth:`scale_sample`.
+    velocity_method = "nearest"
+
+
+class DSampleScaler(BaseScaler):
+    """Naive nearest-neighbour downsampling of waveforms and velocity maps."""
+
+    name = "D-Sample"
+    velocity_method = "nearest"
+
+    def scale_seismic(self, sample: FWISample) -> np.ndarray:
+        seismic = np.asarray(sample.seismic, dtype=np.float64)
+        if seismic.ndim != 3:
+            raise ValueError("expected seismic data of shape (sources, time, receivers)")
+        return nearest_neighbor_resample(seismic, self.config.scaled_seismic_shape)
+
+
+class ForwardModelingScaler(BaseScaler):
+    """Physics-guided scaling: re-simulate seismic data on the coarse model.
+
+    Parameters
+    ----------
+    config:
+        Scaling targets.
+    simulation_shape:
+        Grid used for the coarse re-simulation.  The velocity map is
+        resampled to this shape (kept larger than the final velocity target
+        so the wave physics stays resolvable), the receivers of the scaled
+        survey are spread across its surface, and the recorded traces are
+        decimated to the target time axis.
+    simulation_steps:
+        Number of finite-difference time steps of the re-simulation before
+        decimation to ``config.scaled_seismic_shape[1]`` samples.
+    """
+
+    name = "Q-D-FW"
+    velocity_method = "bilinear"
+
+    def __init__(self, config: QuGeoDataConfig = None,
+                 simulation_shape: Tuple[int, int] = (32, 32),
+                 simulation_steps: int = 256) -> None:
+        super().__init__(config)
+        if simulation_steps < self.config.scaled_seismic_shape[1]:
+            raise ValueError("simulation_steps must cover the scaled time axis")
+        self.simulation_shape = tuple(int(s) for s in simulation_shape)
+        self.simulation_steps = int(simulation_steps)
+
+    def scaled_frequency(self, original_steps: int) -> float:
+        """Source frequency used for the coarse re-simulation."""
+        if self.config.scaled_peak_frequency is not None:
+            return float(self.config.scaled_peak_frequency)
+        return dominant_frequency(self.config.original_peak_frequency,
+                                  original_steps,
+                                  self.config.scaled_seismic_shape[1])
+
+    def scale_seismic(self, sample: FWISample) -> np.ndarray:
+        n_sources, n_time, n_receivers = self.config.scaled_seismic_shape
+        velocity = np.asarray(sample.velocity, dtype=np.float64)
+        coarse = bilinear_resample(velocity, self.simulation_shape)
+        # Physical extent of the model is preserved, so the grid spacing grows
+        # in proportion to the downsampling factor.  The sample's own grid
+        # spacing (recorded by the dataset builder) takes precedence over the
+        # config default so reduced-resolution datasets keep a 700 m domain.
+        sample_dx = float(sample.metadata.get("dx", self.config.dx))
+        original_width = velocity.shape[1] * sample_dx
+        dx = original_width / self.simulation_shape[1]
+        original_steps = (sample.seismic.shape[1]
+                          if np.ndim(sample.seismic) == 3 else n_time)
+        frequency = self.scaled_frequency(original_steps)
+        gather = forward_model_shot_gather(
+            coarse,
+            n_sources=n_sources,
+            n_receivers=n_receivers,
+            n_steps=self.simulation_steps,
+            dx=dx,
+            peak_frequency=frequency,
+        )
+        # Decimate the time axis to the target number of samples.
+        time_indices = np.linspace(0, self.simulation_steps - 1, n_time).astype(int)
+        return gather[:, time_indices, :]
+
+
+class CNNScaler(BaseScaler):
+    """Learning-based scaling: a CNN maps raw seismic data to ``phyD``.
+
+    Build it with :meth:`train`, which fits the compressor on
+    ``(raw seismic, physics-guided scaled seismic)`` pairs generated by a
+    reference :class:`ForwardModelingScaler` — exactly the dataset
+    construction described in Section 3.1.2.
+    """
+
+    name = "Q-D-CNN"
+    velocity_method = "bilinear"
+
+    def __init__(self, compressor: CompressionCNN,
+                 config: QuGeoDataConfig = None) -> None:
+        super().__init__(config)
+        self.compressor = compressor
+
+    @classmethod
+    def train(cls, dataset: Iterable[FWISample],
+              config: QuGeoDataConfig = None,
+              reference_scaler: Optional[ForwardModelingScaler] = None,
+              epochs: int = 60,
+              learning_rate: float = 0.01,
+              batch_size: int = 16,
+              hidden_channels: Tuple[int, int] = (4, 8),
+              rng: RngLike = None,
+              verbose: bool = False) -> "CNNScaler":
+        """Fit the Q-D-CNN compressor and return the ready-to-use scaler.
+
+        Parameters
+        ----------
+        dataset:
+            Full-resolution samples used to build the ``<D, phyD>`` pairs.
+            The paper uses 500 samples disjoint from the FWI train/test data.
+        reference_scaler:
+            The physics-guided scaler that produces the regression targets;
+            defaults to a :class:`ForwardModelingScaler` with ``config``.
+        """
+        config = config or QuGeoDataConfig()
+        reference = reference_scaler or ForwardModelingScaler(config)
+        samples = list(dataset)
+        if not samples:
+            raise ValueError("cannot train the compressor on an empty dataset")
+        rng = ensure_rng(rng)
+
+        raw = np.stack([np.asarray(s.seismic, dtype=np.float64) for s in samples])
+        targets = np.stack([reference.scale_seismic(s).reshape(-1) for s in samples])
+
+        compressor = CompressionCNN(input_shape=raw.shape[1:],
+                                    output_size=config.scaled_seismic_size,
+                                    hidden_channels=hidden_channels, rng=rng)
+        optimizer = Adam(compressor.parameters(), lr=learning_rate)
+        scheduler = CosineAnnealingLR(optimizer, t_max=epochs)
+        loss_fn = MSELoss()
+
+        n_samples = raw.shape[0]
+        for epoch in range(epochs):
+            order = rng.permutation(n_samples)
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, n_samples, batch_size):
+                batch = order[start:start + batch_size]
+                optimizer.zero_grad()
+                predictions = compressor(Tensor(raw[batch]))
+                loss = loss_fn(predictions, targets[batch])
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                n_batches += 1
+            scheduler.step()
+            if verbose and (epoch + 1) % 10 == 0:
+                print(f"[Q-D-CNN] epoch {epoch + 1}/{epochs} "
+                      f"loss={epoch_loss / max(1, n_batches):.6f}")
+        return cls(compressor, config)
+
+    def scale_seismic(self, sample: FWISample) -> np.ndarray:
+        compressed = self.compressor.compress(np.asarray(sample.seismic,
+                                                         dtype=np.float64))
+        return compressed.reshape(self.config.scaled_seismic_shape)
+
+
+def scale_dataset(scaler: BaseScaler, dataset: Iterable[FWISample]) -> FWIDataset:
+    """Convenience alias for ``scaler.scale_dataset(dataset)``."""
+    return scaler.scale_dataset(dataset)

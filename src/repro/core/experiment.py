@@ -1,0 +1,327 @@
+"""Experiment harness: the comparisons behind the paper's figures and tables.
+
+Each function prepares scaled datasets, trains the relevant models and
+returns :class:`ExperimentResult` rows that the benchmark scripts render next
+to the paper's published values.  The helpers are deliberately configuration
+driven so unit tests can run them at a tiny scale while the benchmarks use a
+larger (still laptop-sized) budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.classical_models import ClassicalFWIModel, build_cnn_ly, build_cnn_px
+from repro.core.config import QuGeoDataConfig, QuGeoVQCConfig, TrainingConfig
+from repro.core.data_scaling import (
+    BaseScaler,
+    CNNScaler,
+    DSampleScaler,
+    ForwardModelingScaler,
+)
+from repro.core.qubatch import QuBatchVQC
+from repro.core.training import (
+    ClassicalTrainer,
+    QuantumTrainer,
+    TrainingResult,
+    evaluate_predictions,
+)
+from repro.core.vqc_model import QuGeoVQC
+from repro.data.dataset import FWIDataset
+from repro.metrics import mse, ssim
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.tables import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """One row of an experiment table.
+
+    Attributes
+    ----------
+    model:
+        Model label (``Q-M-PX``, ``Q-M-LY``, ``CNN-PX`` ...).
+    dataset:
+        Data-scaling label (``D-Sample``, ``Q-D-FW``, ``Q-D-CNN``).
+    metrics:
+        Metric name to value (``ssim``, ``mse``, ``parameters`` ...).
+    extras:
+        Anything else worth keeping (training history, predictions ...).
+    """
+
+    model: str
+    dataset: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def metric(self, key: str, default: float = float("nan")) -> float:
+        return float(self.metrics.get(key, default))
+
+
+def evaluate_model(model: Union[QuGeoVQC, QuBatchVQC, ClassicalFWIModel],
+                   dataset: FWIDataset) -> Dict[str, float]:
+    """SSIM / MSE of ``model`` on a scaled dataset."""
+    seismic = np.stack([sample.seismic.reshape(-1) for sample in dataset])
+    velocity = np.stack([sample.velocity for sample in dataset])
+    if isinstance(model, ClassicalFWIModel):
+        predictions = model.predict_velocity(seismic)
+    elif isinstance(model, QuBatchVQC):
+        chunks = []
+        for start in range(0, seismic.shape[0], model.batch_capacity):
+            chunk = [seismic[i] for i in range(start, min(start + model.batch_capacity,
+                                                          seismic.shape[0]))]
+            chunks.append(model.predict_batch(chunk))
+        predictions = np.concatenate(chunks, axis=0)
+    else:
+        predictions = model.predict_batch(list(seismic))
+    return evaluate_predictions(predictions, velocity)
+
+
+# --------------------------------------------------------------------------- #
+# dataset preparation
+# --------------------------------------------------------------------------- #
+def build_scalers(methods: Sequence[str],
+                  data_config: QuGeoDataConfig,
+                  compressor_dataset: Optional[FWIDataset] = None,
+                  compressor_epochs: int = 40,
+                  rng: RngLike = None) -> Dict[str, BaseScaler]:
+    """Instantiate the requested QuGeoData scalers.
+
+    ``methods`` entries are ``"D-Sample"``, ``"Q-D-FW"`` and ``"Q-D-CNN"``.
+    The CNN scaler is trained on ``compressor_dataset`` (the paper uses 500
+    samples disjoint from the FWI train/test split).
+    """
+    rng = ensure_rng(rng)
+    scalers: Dict[str, BaseScaler] = {}
+    for method in methods:
+        if method == "D-Sample":
+            scalers[method] = DSampleScaler(data_config)
+        elif method == "Q-D-FW":
+            scalers[method] = ForwardModelingScaler(data_config)
+        elif method == "Q-D-CNN":
+            if compressor_dataset is None or not len(compressor_dataset):
+                raise ValueError("Q-D-CNN needs a compressor training dataset")
+            scalers[method] = CNNScaler.train(compressor_dataset,
+                                              config=data_config,
+                                              epochs=compressor_epochs,
+                                              rng=rng)
+        else:
+            raise ValueError(f"unknown scaling method {method!r}")
+    return scalers
+
+
+def prepare_scaled_datasets(scalers: Dict[str, BaseScaler],
+                            train: FWIDataset,
+                            test: FWIDataset) -> Dict[str, Tuple[FWIDataset, FWIDataset]]:
+    """Scale the train/test splits with every scaler."""
+    return {name: (scaler.scale_dataset(train), scaler.scale_dataset(test))
+            for name, scaler in scalers.items()}
+
+
+# --------------------------------------------------------------------------- #
+# experiments
+# --------------------------------------------------------------------------- #
+def compare_scaling_methods(scaled: Dict[str, Tuple[FWIDataset, FWIDataset]],
+                            vqc_config: QuGeoVQCConfig,
+                            training: TrainingConfig,
+                            rng: RngLike = None) -> List[ExperimentResult]:
+    """Figure 5: train the same VQC on each scaled dataset and compare.
+
+    Returns one result per scaling method, carrying the final SSIM/MSE and
+    the per-epoch convergence history used for Figures 5(b)-(c).
+    """
+    rng = ensure_rng(rng)
+    results = []
+    for method, (train_set, test_set) in scaled.items():
+        model = QuGeoVQC(vqc_config, rng=rng)
+        trainer = QuantumTrainer(training)
+        outcome = trainer.train(model, train_set, test_set)
+        results.append(ExperimentResult(
+            model=model.name,
+            dataset=method,
+            metrics={"ssim": outcome.final_metrics["test_ssim"],
+                     "mse": outcome.final_metrics["test_mse"],
+                     "parameters": model.num_parameters()},
+            extras={"history_ssim": outcome.history("test_ssim"),
+                    "history_mse": outcome.history("test_mse"),
+                    "history_loss": outcome.history("train_loss"),
+                    "result": outcome}))
+    return results
+
+
+def compare_decoders(scaled: Dict[str, Tuple[FWIDataset, FWIDataset]],
+                     base_config: QuGeoVQCConfig,
+                     training: TrainingConfig,
+                     rng: RngLike = None) -> List[ExperimentResult]:
+    """Figure 8: Q-M-PX vs Q-M-LY on every scaled dataset."""
+    rng = ensure_rng(rng)
+    results = []
+    for decoder in ("pixel", "layer"):
+        config = QuGeoVQCConfig(
+            n_groups=base_config.n_groups,
+            qubits_per_group=base_config.qubits_per_group,
+            n_blocks=base_config.n_blocks,
+            decoder=decoder,
+            output_shape=base_config.output_shape,
+            inter_group_blocks=base_config.inter_group_blocks,
+            max_qubits=base_config.max_qubits,
+            trainable_output_scale=base_config.trainable_output_scale,
+        )
+        for method, (train_set, test_set) in scaled.items():
+            model = QuGeoVQC(config, rng=rng)
+            outcome = QuantumTrainer(training).train(model, train_set, test_set)
+            results.append(ExperimentResult(
+                model=model.name,
+                dataset=method,
+                metrics={"ssim": outcome.final_metrics["test_ssim"],
+                         "mse": outcome.final_metrics["test_mse"],
+                         "parameters": model.num_parameters()},
+                extras={"result": outcome}))
+    return results
+
+
+def qubatch_study(train_set: FWIDataset, test_set: FWIDataset,
+                  base_config: QuGeoVQCConfig,
+                  training: TrainingConfig,
+                  batch_qubit_counts: Sequence[int] = (0, 1, 2),
+                  rng: RngLike = None) -> List[ExperimentResult]:
+    """Table 1: train Q-M-LY with increasing QuBatch batch sizes."""
+    rng = ensure_rng(rng)
+    results = []
+    for n_batch_qubits in batch_qubit_counts:
+        config = QuGeoVQCConfig(
+            n_groups=base_config.n_groups,
+            qubits_per_group=base_config.qubits_per_group,
+            n_blocks=base_config.n_blocks,
+            decoder=base_config.decoder,
+            output_shape=base_config.output_shape,
+            n_batch_qubits=n_batch_qubits,
+            max_qubits=base_config.max_qubits,
+            trainable_output_scale=base_config.trainable_output_scale,
+        )
+        if n_batch_qubits == 0:
+            model: Union[QuGeoVQC, QuBatchVQC] = QuGeoVQC(config, rng=rng)
+        else:
+            model = QuBatchVQC(config, rng=rng)
+        outcome = QuantumTrainer(training).train(model, train_set, test_set)
+        results.append(ExperimentResult(
+            model=getattr(model, "name", "Q-M-LY"),
+            dataset="Q-D-FW",
+            metrics={"ssim": outcome.final_metrics["test_ssim"],
+                     "mse": outcome.final_metrics["test_mse"],
+                     "batch": 2**n_batch_qubits if n_batch_qubits else 0,
+                     "extra_qubits": n_batch_qubits},
+            extras={"result": outcome}))
+    return results
+
+
+def quantum_vs_classical(scaled: Dict[str, Tuple[FWIDataset, FWIDataset]],
+                         vqc_config: QuGeoVQCConfig,
+                         training: TrainingConfig,
+                         rng: RngLike = None) -> List[ExperimentResult]:
+    """Table 2: CNN-PX / CNN-LY vs Q-M-PX / Q-M-LY at matched parameter budgets."""
+    rng = ensure_rng(rng)
+    results: List[ExperimentResult] = []
+    input_size = vqc_config.input_size
+    output_shape = vqc_config.output_shape
+
+    builders = {
+        "CNN-PX": lambda: build_cnn_px(input_size, output_shape, rng=rng),
+        "CNN-LY": lambda: build_cnn_ly(input_size, output_shape, rng=rng),
+    }
+    for name, builder in builders.items():
+        for method, (train_set, test_set) in scaled.items():
+            model = builder()
+            outcome = ClassicalTrainer(training).train(model, train_set, test_set)
+            results.append(ExperimentResult(
+                model=name, dataset=method,
+                metrics={"ssim": outcome.final_metrics["test_ssim"],
+                         "mse": outcome.final_metrics["test_mse"],
+                         "parameters": model.num_parameters()},
+                extras={"result": outcome}))
+
+    for decoder, label in (("pixel", "Q-M-PX"), ("layer", "Q-M-LY")):
+        config = QuGeoVQCConfig(
+            n_groups=vqc_config.n_groups,
+            qubits_per_group=vqc_config.qubits_per_group,
+            n_blocks=vqc_config.n_blocks,
+            decoder=decoder,
+            output_shape=vqc_config.output_shape,
+            max_qubits=vqc_config.max_qubits,
+            trainable_output_scale=vqc_config.trainable_output_scale,
+        )
+        for method, (train_set, test_set) in scaled.items():
+            model = QuGeoVQC(config, rng=rng)
+            outcome = QuantumTrainer(training).train(model, train_set, test_set)
+            results.append(ExperimentResult(
+                model=label, dataset=method,
+                metrics={"ssim": outcome.final_metrics["test_ssim"],
+                         "mse": outcome.final_metrics["test_mse"],
+                         "parameters": model.num_parameters()},
+                extras={"result": outcome}))
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# analysis helpers
+# --------------------------------------------------------------------------- #
+def vertical_profile(velocity_map: np.ndarray, column: Optional[int] = None) -> np.ndarray:
+    """Vertical velocity profile at ``column`` (centre column by default).
+
+    This is the quantity plotted in Figures 7(b) and 9(b) of the paper (the
+    paper uses the profile at x = 400 m, roughly the centre of the model).
+    """
+    velocity_map = np.asarray(velocity_map, dtype=np.float64)
+    if velocity_map.ndim != 2:
+        raise ValueError("velocity_map must be 2-D")
+    if column is None:
+        column = velocity_map.shape[1] // 2
+    if not 0 <= column < velocity_map.shape[1]:
+        raise ValueError("column outside the map")
+    return velocity_map[:, column]
+
+
+def count_interface_matches(prediction_profile: np.ndarray,
+                            truth_profile: np.ndarray,
+                            tolerance: float = 0.05) -> Tuple[int, int]:
+    """Count layer interfaces of the truth profile recovered by the prediction.
+
+    An interface is a depth index where the ground-truth profile jumps by
+    more than ``tolerance`` (in normalised velocity units); it counts as
+    recovered when the prediction also jumps by more than half the truth's
+    jump, in the same direction, at the same depth (+-1 row).
+
+    Returns ``(matched, total)`` as used in the Figure 7/9 discussion.
+    """
+    prediction_profile = np.asarray(prediction_profile, dtype=np.float64).reshape(-1)
+    truth_profile = np.asarray(truth_profile, dtype=np.float64).reshape(-1)
+    if prediction_profile.shape != truth_profile.shape:
+        raise ValueError("profiles must have the same length")
+    truth_jumps = np.diff(truth_profile)
+    pred_jumps = np.diff(prediction_profile)
+    matched = 0
+    total = 0
+    for index, jump in enumerate(truth_jumps):
+        if abs(jump) < tolerance:
+            continue
+        total += 1
+        window = pred_jumps[max(0, index - 1):index + 2]
+        if np.any(np.sign(window) == np.sign(jump)):
+            if np.max(np.abs(window)) >= 0.5 * abs(jump):
+                matched += 1
+    return matched, total
+
+
+def results_table(results: Iterable[ExperimentResult],
+                  metrics: Sequence[str] = ("ssim", "mse"),
+                  title: str = "") -> str:
+    """Render experiment results as an aligned text table."""
+    headers = ["model", "dataset"] + list(metrics)
+    rows = []
+    for result in results:
+        rows.append([result.model, result.dataset] +
+                    [result.metric(metric) for metric in metrics])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,53 @@
+"""Loss functions of the two QuGeoVQC decoders (Eq. 2 and Eq. 3 of the paper).
+
+These NumPy implementations define the objective; the models in
+:mod:`repro.core.vqc_model` and :mod:`repro.core.classical_models` compute
+the same quantities inside their own differentiation machinery.  They are
+exposed separately so tests and the experiment harness can score any
+prediction consistently.
+
+Both losses are reported as *means* over the velocity-map pixels so that the
+values are comparable across map sizes (the paper's MSE numbers, e.g.
+``4.6e-4``, are per-pixel means of normalised velocities).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pixel_loss(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Pixel-wise MSE (Eq. 2): compare every velocity-map cell independently."""
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if prediction.shape != target.shape:
+        raise ValueError(f"shape mismatch: {prediction.shape} vs {target.shape}")
+    return float(np.mean((prediction - target) ** 2))
+
+
+def layer_loss(row_prediction: np.ndarray, target: np.ndarray) -> float:
+    """Layer-wise MSE (Eq. 3): one predicted velocity per velocity-map row.
+
+    Parameters
+    ----------
+    row_prediction:
+        1-D array of length ``depth`` — the per-row velocities ``D'``.
+    target:
+        2-D ground-truth map ``(depth, width)``.
+    """
+    row_prediction = np.asarray(row_prediction, dtype=np.float64).reshape(-1)
+    target = np.asarray(target, dtype=np.float64)
+    if target.ndim != 2:
+        raise ValueError("target must be a 2-D velocity map")
+    if row_prediction.size != target.shape[0]:
+        raise ValueError("row_prediction length must equal the map depth")
+    expanded = np.repeat(row_prediction[:, None], target.shape[1], axis=1)
+    return float(np.mean((expanded - target) ** 2))
+
+
+def row_profile(velocity_map: np.ndarray) -> np.ndarray:
+    """Per-row mean of a velocity map (the regression target of Eq. 3)."""
+    velocity_map = np.asarray(velocity_map, dtype=np.float64)
+    if velocity_map.ndim != 2:
+        raise ValueError("velocity_map must be 2-D")
+    return velocity_map.mean(axis=1)

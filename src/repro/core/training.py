@@ -1,0 +1,216 @@
+"""Trainers for the quantum and classical FWI models.
+
+Both trainers follow the paper's recipe: Adam with a configurable initial
+learning rate (0.1 in the paper), cosine annealing over the epoch budget and
+mini-batch updates.  They share the :class:`TrainingResult` record so the
+experiment harness treats quantum and classical runs uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.classical_models import ClassicalFWIModel
+from repro.core.config import TrainingConfig
+from repro.core.qubatch import QuBatchVQC
+from repro.core.vqc_model import QuGeoVQC
+from repro.data.dataset import FWIDataset
+from repro.metrics import mse, ssim
+from repro.nn import Adam, CosineAnnealingLR, MSELoss, Tensor
+from repro.utils.logging import RunLogger
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of one training run.
+
+    Attributes
+    ----------
+    model:
+        The trained model (mutated in place by the trainer).
+    logger:
+        Per-epoch metric history (``train_loss``, ``test_ssim``, ``test_mse``).
+    final_metrics:
+        Metrics of the trained model on the evaluation set.
+    """
+
+    model: object
+    logger: RunLogger
+    final_metrics: Dict[str, float] = field(default_factory=dict)
+
+    def history(self, key: str) -> List[float]:
+        """Shortcut to the logger's history for ``key``."""
+        return self.logger.history(key)
+
+
+def _dataset_arrays(dataset: FWIDataset):
+    """Stack a scaled dataset into (flattened seismic, velocity maps)."""
+    seismic = np.stack([sample.seismic.reshape(-1) for sample in dataset])
+    velocity = np.stack([sample.velocity for sample in dataset])
+    return seismic, velocity
+
+
+def evaluate_predictions(predictions: np.ndarray,
+                         targets: np.ndarray) -> Dict[str, float]:
+    """Average SSIM and MSE of a batch of predicted velocity maps."""
+    if predictions.shape != targets.shape:
+        raise ValueError("prediction/target shape mismatch")
+    ssim_values = [ssim(pred, target, data_range=1.0)
+                   for pred, target in zip(predictions, targets)]
+    return {"ssim": float(np.mean(ssim_values)),
+            "mse": mse(predictions, targets)}
+
+
+class QuantumTrainer:
+    """Mini-batch Adam training of :class:`QuGeoVQC` / :class:`QuBatchVQC`."""
+
+    def __init__(self, config: TrainingConfig = None) -> None:
+        self.config = config or TrainingConfig()
+
+    def train(self, model: Union[QuGeoVQC, QuBatchVQC],
+              train_dataset: FWIDataset,
+              test_dataset: Optional[FWIDataset] = None,
+              logger: Optional[RunLogger] = None) -> TrainingResult:
+        """Train ``model`` on a scaled dataset.
+
+        The mini-batch size is the training config's ``batch_size`` for the
+        plain model, or the QuBatch capacity when the model batches in the
+        circuit itself.
+        """
+        config = self.config
+        rng = ensure_rng(config.seed)
+        logger = logger or RunLogger(name=getattr(model, "name", "quantum"),
+                                     verbose=config.verbose,
+                                     print_every=config.eval_every)
+        seismic, velocity = _dataset_arrays(train_dataset)
+        test_arrays = (_dataset_arrays(test_dataset)
+                       if test_dataset is not None and len(test_dataset) else None)
+
+        optimizer = Adam(model.parameter_tensors(), lr=config.learning_rate)
+        scheduler = CosineAnnealingLR(optimizer, t_max=config.epochs,
+                                      eta_min=config.eta_min)
+        uses_qubatch = isinstance(model, QuBatchVQC)
+        batch_size = model.batch_capacity if uses_qubatch else config.batch_size
+
+        n_samples = seismic.shape[0]
+        for epoch in range(config.epochs):
+            order = rng.permutation(n_samples)
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, n_samples, batch_size):
+                batch = order[start:start + batch_size]
+                optimizer.zero_grad()
+                if uses_qubatch:
+                    batch_loss = model.accumulate_gradients(
+                        [seismic[i] for i in batch],
+                        [velocity[i] for i in batch])
+                else:
+                    weight = 1.0 / len(batch)
+                    batch_loss = 0.0
+                    for index in batch:
+                        batch_loss += weight * model.accumulate_gradients(
+                            seismic[index], velocity[index], weight=weight)
+                optimizer.step()
+                epoch_loss += batch_loss
+                n_batches += 1
+            scheduler.step()
+            metrics = {"train_loss": epoch_loss / max(1, n_batches),
+                       "lr": optimizer.lr}
+            if test_arrays is not None and (
+                    (epoch + 1) % config.eval_every == 0
+                    or epoch == config.epochs - 1):
+                metrics.update(self._evaluate(model, *test_arrays))
+            logger.log(epoch, **metrics)
+
+        final_metrics = (self._evaluate(model, *test_arrays)
+                         if test_arrays is not None
+                         else self._evaluate(model, seismic, velocity))
+        return TrainingResult(model=model, logger=logger,
+                              final_metrics=final_metrics)
+
+    @staticmethod
+    def _evaluate(model: Union[QuGeoVQC, QuBatchVQC],
+                  seismic: np.ndarray, velocity: np.ndarray) -> Dict[str, float]:
+        if isinstance(model, QuBatchVQC):
+            predictions = []
+            capacity = model.batch_capacity
+            for start in range(0, seismic.shape[0], capacity):
+                chunk = [seismic[i] for i in range(start,
+                                                   min(start + capacity,
+                                                       seismic.shape[0]))]
+                predictions.append(model.predict_batch(chunk))
+            predictions = np.concatenate(predictions, axis=0)
+        else:
+            predictions = model.predict_batch(list(seismic))
+        metrics = evaluate_predictions(predictions, velocity)
+        return {"test_ssim": metrics["ssim"], "test_mse": metrics["mse"]}
+
+
+class ClassicalTrainer:
+    """Mini-batch Adam training of :class:`ClassicalFWIModel` baselines."""
+
+    def __init__(self, config: TrainingConfig = None) -> None:
+        self.config = config or TrainingConfig()
+
+    def train(self, model: ClassicalFWIModel,
+              train_dataset: FWIDataset,
+              test_dataset: Optional[FWIDataset] = None,
+              logger: Optional[RunLogger] = None) -> TrainingResult:
+        """Train a classical baseline on a scaled dataset."""
+        config = self.config
+        rng = ensure_rng(config.seed)
+        logger = logger or RunLogger(name=model.name, verbose=config.verbose,
+                                     print_every=config.eval_every)
+        seismic, velocity = _dataset_arrays(train_dataset)
+        test_arrays = (_dataset_arrays(test_dataset)
+                       if test_dataset is not None and len(test_dataset) else None)
+
+        optimizer = Adam(model.network.parameters(), lr=config.learning_rate)
+        scheduler = CosineAnnealingLR(optimizer, t_max=config.epochs,
+                                      eta_min=config.eta_min)
+        loss_fn = MSELoss()
+        depth, width = velocity.shape[1], velocity.shape[2]
+
+        n_samples = seismic.shape[0]
+        for epoch in range(config.epochs):
+            order = rng.permutation(n_samples)
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, n_samples, config.batch_size):
+                batch = order[start:start + config.batch_size]
+                optimizer.zero_grad()
+                output = model.forward(seismic[batch])
+                if model.decoder == "pixel":
+                    prediction = output.reshape(len(batch), depth, width)
+                else:
+                    prediction = model.expand_prediction(output)
+                loss = loss_fn(prediction, velocity[batch])
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                n_batches += 1
+            scheduler.step()
+            metrics = {"train_loss": epoch_loss / max(1, n_batches),
+                       "lr": optimizer.lr}
+            if test_arrays is not None and (
+                    (epoch + 1) % config.eval_every == 0
+                    or epoch == config.epochs - 1):
+                metrics.update(self._evaluate(model, *test_arrays))
+            logger.log(epoch, **metrics)
+
+        final_metrics = (self._evaluate(model, *test_arrays)
+                         if test_arrays is not None
+                         else self._evaluate(model, seismic, velocity))
+        return TrainingResult(model=model, logger=logger,
+                              final_metrics=final_metrics)
+
+    @staticmethod
+    def _evaluate(model: ClassicalFWIModel, seismic: np.ndarray,
+                  velocity: np.ndarray) -> Dict[str, float]:
+        predictions = model.predict_velocity(seismic)
+        metrics = evaluate_predictions(predictions, velocity)
+        return {"test_ssim": metrics["ssim"], "test_mse": metrics["mse"]}

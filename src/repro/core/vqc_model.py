@@ -1,0 +1,239 @@
+"""QuGeoVQC: the application-specific variational quantum circuit.
+
+The model is the composition described in Section 3.2 of the paper:
+
+* **Encoder** — the spatial-temporal (ST) amplitude encoder groups the scaled
+  seismic data (one group per source when multiple groups are configured) and
+  writes it onto the register amplitudes.
+* **VQC** — ``n_blocks`` repetitions of the TorchQuantum ``U3+CU3`` block on
+  the data qubits (12 blocks on 8 qubits gives the paper's 576 parameters).
+  With several encoder groups, each group gets its own sub-VQC and the groups
+  are entangled gradually with cross-group CU3 gates.
+* **Decoder** — either pixel-wise (``Q-M-PX``): the magnitudes of the first
+  ``depth*width`` amplitudes (read as marginal probabilities of the read-out
+  qubits) scaled by a read-out factor, trained against Eq. 2; or layer-wise
+  (``Q-M-LY``): one Pauli-Z expectation per velocity-map row, trained against
+  Eq. 3, exploiting the flat layered structure of the subsurface.
+
+Gradients with respect to the circuit parameters are computed with the
+reverse-mode (adjoint) method in :mod:`repro.quantum.autodiff`, so a full
+gradient costs roughly two circuit simulations regardless of the parameter
+count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import QuGeoVQCConfig
+from repro.nn.tensor import Tensor
+from repro.quantum.ansatz import grouped_st_ansatz, u3_cu3_ansatz
+from repro.quantum.autodiff import circuit_gradients
+from repro.quantum.circuit import ParameterizedCircuit
+from repro.quantum.encoding import STEncoder
+from repro.quantum.measurement import (
+    marginal_probabilities,
+    marginal_probabilities_backward,
+    z_expectations,
+    z_expectations_backward,
+)
+from repro.utils.rng import RngLike, ensure_rng
+
+_EPS = 1e-12
+
+
+class QuGeoVQC:
+    """Quantum seismic-to-velocity regressor.
+
+    Parameters
+    ----------
+    config:
+        Circuit configuration (see :class:`~repro.core.config.QuGeoVQCConfig`).
+        ``config.n_batch_qubits`` must be 0 here; use
+        :class:`~repro.core.qubatch.QuBatchVQC` for batched execution.
+    rng:
+        Seed / generator for the parameter initialisation.
+    """
+
+    name = "QuGeoVQC"
+
+    def __init__(self, config: QuGeoVQCConfig = None, rng: RngLike = None) -> None:
+        self.config = config or QuGeoVQCConfig()
+        if self.config.n_batch_qubits != 0:
+            raise ValueError("QuGeoVQC does not batch; use QuBatchVQC instead")
+        rng = ensure_rng(rng)
+        self.encoder = STEncoder(n_groups=self.config.n_groups,
+                                 qubits_per_group=self.config.qubits_per_group)
+        self.n_qubits = self.config.total_qubits
+        self.circuit = self._build_circuit()
+        self.theta = Tensor(rng.normal(0.0, 0.3, size=self.circuit.n_params),
+                            requires_grad=True)
+        initial_scale = float(np.sqrt(np.prod(self.config.output_shape)) * 0.5)
+        self.output_scale = Tensor(np.array([initial_scale]),
+                                   requires_grad=self.config.trainable_output_scale)
+        self.name = "Q-M-PX" if self.config.decoder == "pixel" else "Q-M-LY"
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build_circuit(self) -> ParameterizedCircuit:
+        if self.config.n_groups == 1:
+            return u3_cu3_ansatz(self.n_qubits, n_blocks=self.config.n_blocks)
+        groups = [self.encoder.group_qubits(g) for g in range(self.config.n_groups)]
+        return grouped_st_ansatz(groups, self.n_qubits,
+                                 n_blocks=self.config.n_blocks,
+                                 inter_group_blocks=self.config.inter_group_blocks)
+
+    # ------------------------------------------------------------------ #
+    # parameters
+    # ------------------------------------------------------------------ #
+    def parameter_tensors(self) -> Tuple[Tensor, ...]:
+        """Tensors the optimiser updates (circuit angles and read-out scale)."""
+        if self.config.decoder == "pixel" and self.config.trainable_output_scale:
+            return (self.theta, self.output_scale)
+        return (self.theta,)
+
+    def num_parameters(self, include_readout: bool = False) -> int:
+        """Number of quantum circuit parameters (576 for the paper's setup).
+
+        ``include_readout=True`` also counts the classical read-out scale of
+        the pixel decoder.
+        """
+        count = self.circuit.n_params
+        if include_readout and self.config.decoder == "pixel" \
+                and self.config.trainable_output_scale:
+            count += 1
+        return count
+
+    @property
+    def readout_qubits(self) -> Tuple[int, ...]:
+        """Qubits measured by the decoder."""
+        if self.config.decoder == "pixel":
+            return tuple(range(self.config.readout_qubits_needed))
+        return tuple(range(self.config.output_shape[0]))
+
+    # ------------------------------------------------------------------ #
+    # forward pass
+    # ------------------------------------------------------------------ #
+    def encode(self, seismic: np.ndarray) -> np.ndarray:
+        """Amplitude-encode one flattened (or shaped) scaled seismic sample."""
+        return self.encoder.encode(np.asarray(seismic, dtype=np.float64).reshape(-1))
+
+    def run_circuit(self, seismic: np.ndarray) -> np.ndarray:
+        """Return the output statevector for one sample."""
+        state = self.encode(seismic)
+        return self.circuit.run(state, self.theta.data)
+
+    def decode(self, state: np.ndarray) -> np.ndarray:
+        """Map an output statevector to a normalised velocity map."""
+        depth, width = self.config.output_shape
+        if self.config.decoder == "pixel":
+            probs = marginal_probabilities(state, self.readout_qubits, self.n_qubits)
+            amplitudes = np.sqrt(probs[:depth * width] + _EPS)
+            scale = float(self.output_scale.data[0])
+            return (scale * amplitudes).reshape(depth, width)
+        z = z_expectations(state, self.readout_qubits, self.n_qubits)
+        rows = (z + 1.0) / 2.0
+        return np.repeat(rows[:, None], width, axis=1)
+
+    def predict(self, seismic: np.ndarray) -> np.ndarray:
+        """Predict the normalised velocity map of one scaled seismic sample."""
+        return self.decode(self.run_circuit(seismic))
+
+    def predict_batch(self, seismic_batch: Sequence[np.ndarray]) -> np.ndarray:
+        """Predict velocity maps for a sequence of samples."""
+        return np.stack([self.predict(sample) for sample in seismic_batch])
+
+    # ------------------------------------------------------------------ #
+    # loss and gradients
+    # ------------------------------------------------------------------ #
+    def loss_and_gradients(self, seismic: np.ndarray,
+                           target: np.ndarray) -> Tuple[float, Dict[str, np.ndarray]]:
+        """Loss and parameter gradients for one (seismic, velocity) pair.
+
+        Returns the scalar loss and a dict with gradients for ``"theta"`` and
+        (for the pixel decoder) ``"output_scale"``.
+        """
+        target = np.asarray(target, dtype=np.float64)
+        depth, width = self.config.output_shape
+        if target.shape != (depth, width):
+            raise ValueError(f"target shape {target.shape} != {(depth, width)}")
+        state = self.encode(seismic)
+        scale_grad = np.zeros(1)
+
+        if self.config.decoder == "pixel":
+            readout = self.readout_qubits
+            scale = float(self.output_scale.data[0])
+
+            def loss_head(psi: np.ndarray):
+                probs = marginal_probabilities(psi, readout, self.n_qubits)
+                amplitudes = np.sqrt(probs[:depth * width] + _EPS)
+                prediction = (scale * amplitudes).reshape(depth, width)
+                diff = prediction - target
+                loss = float(np.mean(diff**2))
+                dloss_dpred = 2.0 * diff / diff.size
+                dloss_damp = (dloss_dpred.reshape(-1) * scale)
+                scale_grad[0] = float(np.sum(dloss_dpred.reshape(-1) * amplitudes))
+                dloss_dprob = np.zeros_like(probs)
+                dloss_dprob[:depth * width] = dloss_damp * 0.5 / amplitudes
+                lam = marginal_probabilities_backward(psi, readout, self.n_qubits,
+                                                      dloss_dprob)
+                return loss, lam
+        else:
+            readout = self.readout_qubits
+
+            def loss_head(psi: np.ndarray):
+                z = z_expectations(psi, readout, self.n_qubits)
+                rows = (z + 1.0) / 2.0
+                prediction = np.repeat(rows[:, None], width, axis=1)
+                diff = prediction - target
+                loss = float(np.mean(diff**2))
+                dloss_dpred = 2.0 * diff / diff.size
+                dloss_drows = dloss_dpred.sum(axis=1)
+                dloss_dz = 0.5 * dloss_drows
+                lam = z_expectations_backward(psi, readout, self.n_qubits, dloss_dz)
+                return loss, lam
+
+        loss, theta_grad = circuit_gradients(self.circuit, self.theta.data,
+                                             state, loss_head)
+        gradients = {"theta": theta_grad}
+        if self.config.decoder == "pixel" and self.config.trainable_output_scale:
+            gradients["output_scale"] = scale_grad.copy()
+        return loss, gradients
+
+    def accumulate_gradients(self, seismic: np.ndarray,
+                             target: np.ndarray, weight: float = 1.0) -> float:
+        """Add ``weight``-scaled gradients of one sample into the parameter tensors."""
+        loss, gradients = self.loss_and_gradients(seismic, target)
+        theta_grad = weight * gradients["theta"]
+        if self.theta.grad is None:
+            self.theta.grad = theta_grad
+        else:
+            self.theta.grad = self.theta.grad + theta_grad
+        if "output_scale" in gradients:
+            scale_grad = weight * gradients["output_scale"]
+            if self.output_scale.grad is None:
+                self.output_scale.grad = scale_grad
+            else:
+                self.output_scale.grad = self.output_scale.grad + scale_grad
+        return loss
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of the trainable arrays."""
+        return {"theta": self.theta.data.copy(),
+                "output_scale": self.output_scale.data.copy()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load arrays produced by :meth:`state_dict`."""
+        theta = np.asarray(state["theta"], dtype=np.float64)
+        if theta.shape != self.theta.data.shape:
+            raise ValueError("theta shape mismatch")
+        self.theta.data = theta.copy()
+        if "output_scale" in state:
+            self.output_scale.data = np.asarray(state["output_scale"],
+                                                dtype=np.float64).copy()

@@ -1,0 +1,31 @@
+"""Dataset tooling: synthetic OpenFWI-style data, containers and resampling.
+
+The OpenFWI FlatVelA dataset used by the paper cannot be redistributed
+offline; :mod:`repro.data.openfwi` regenerates a statistically equivalent
+dataset by sampling FlatVel-style layered velocity models and running the
+acoustic forward model over them (the same process OpenFWI used to create the
+originals).  :mod:`repro.data.dataset` holds the paired samples and performs
+the 400/100 train/test split of the paper; :mod:`repro.data.resample`
+implements the nearest-neighbour baseline ("D-Sample") and other resampling
+utilities; :mod:`repro.data.normalization` maps velocities to the unit range
+used by the losses and metrics.
+"""
+
+from repro.data.dataset import FWISample, FWIDataset, train_test_split
+from repro.data.openfwi import OpenFWIConfig, SyntheticOpenFWI, build_flatvel_dataset
+from repro.data.resample import nearest_neighbor_resample, bilinear_resample, resample_2d
+from repro.data.normalization import VelocityNormalizer, MinMaxNormalizer
+
+__all__ = [
+    "FWISample",
+    "FWIDataset",
+    "train_test_split",
+    "OpenFWIConfig",
+    "SyntheticOpenFWI",
+    "build_flatvel_dataset",
+    "nearest_neighbor_resample",
+    "bilinear_resample",
+    "resample_2d",
+    "VelocityNormalizer",
+    "MinMaxNormalizer",
+]

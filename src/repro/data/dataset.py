@@ -1,0 +1,118 @@
+"""Dataset containers for paired (seismic data, velocity map) samples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class FWISample:
+    """One FWI training example.
+
+    Attributes
+    ----------
+    seismic:
+        Seismic data with OpenFWI layout ``(n_sources, n_time, n_receivers)``
+        (or any flattened/scaled variant thereof).
+    velocity:
+        Velocity map ``(depth, width)`` in physical units (m/s) unless stated
+        otherwise by the producer.
+    metadata:
+        Free-form provenance: scaling method, frequencies, original shapes...
+    """
+
+    seismic: np.ndarray
+    velocity: np.ndarray
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.seismic = np.asarray(self.seismic, dtype=np.float64)
+        self.velocity = np.asarray(self.velocity, dtype=np.float64)
+
+
+class FWIDataset:
+    """An ordered collection of :class:`FWISample` with split/iteration helpers."""
+
+    def __init__(self, samples: Sequence[FWISample], name: str = "dataset") -> None:
+        self._samples: List[FWISample] = list(samples)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __getitem__(self, index) -> FWISample:
+        if isinstance(index, slice):
+            return FWIDataset(self._samples[index], name=self.name)
+        return self._samples[index]
+
+    def __iter__(self) -> Iterator[FWISample]:
+        return iter(self._samples)
+
+    def seismic_array(self) -> np.ndarray:
+        """Stack every sample's seismic data into one array."""
+        return np.stack([sample.seismic for sample in self._samples])
+
+    def velocity_array(self) -> np.ndarray:
+        """Stack every sample's velocity map into one array."""
+        return np.stack([sample.velocity for sample in self._samples])
+
+    def map(self, fn) -> "FWIDataset":
+        """Return a new dataset with ``fn(sample)`` applied to every sample."""
+        return FWIDataset([fn(sample) for sample in self._samples], name=self.name)
+
+    def subset(self, indices: Sequence[int]) -> "FWIDataset":
+        """Return a dataset containing only ``indices`` (in the given order)."""
+        return FWIDataset([self._samples[i] for i in indices], name=self.name)
+
+    def shuffled(self, rng: RngLike = None) -> "FWIDataset":
+        """Return a copy with the sample order permuted."""
+        rng = ensure_rng(rng)
+        order = rng.permutation(len(self._samples))
+        return self.subset(order.tolist())
+
+    def batches(self, batch_size: int,
+                drop_last: bool = False) -> Iterator[List[FWISample]]:
+        """Yield consecutive batches of samples."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        for start in range(0, len(self._samples), batch_size):
+            batch = self._samples[start:start + batch_size]
+            if drop_last and len(batch) < batch_size:
+                return
+            yield batch
+
+
+def train_test_split(dataset: FWIDataset, train_size: int,
+                     test_size: Optional[int] = None,
+                     shuffle: bool = True,
+                     rng: RngLike = None) -> Tuple[FWIDataset, FWIDataset]:
+    """Split ``dataset`` into train/test partitions.
+
+    The paper splits its 500 FlatVelA samples into 400 train / 100 test.
+
+    Parameters
+    ----------
+    train_size:
+        Number of training samples.
+    test_size:
+        Number of test samples; defaults to the remainder.
+    """
+    total = len(dataset)
+    if not 0 < train_size < total:
+        raise ValueError(f"train_size must be in (0, {total})")
+    if test_size is None:
+        test_size = total - train_size
+    if train_size + test_size > total:
+        raise ValueError("train_size + test_size exceeds dataset size")
+    indices = list(range(total))
+    if shuffle:
+        rng = ensure_rng(rng)
+        indices = rng.permutation(total).tolist()
+    train = dataset.subset(indices[:train_size])
+    test = dataset.subset(indices[train_size:train_size + test_size])
+    return train, test

@@ -1,0 +1,159 @@
+"""Synthetic OpenFWI-style dataset generation.
+
+OpenFWI's FlatVelA family pairs 70x70 flat-layered velocity maps with seismic
+data of shape ``5 x 1000 x 70`` (sources x time steps x receivers) produced
+by acoustic forward modelling.  The public files are not redistributable
+here, so :class:`SyntheticOpenFWI` regenerates equivalent pairs with the
+library's own velocity-model generators and finite-difference propagator --
+the same physical process that created the originals (see DESIGN.md,
+substitutions table).
+
+All dimensions are configurable so tests and benchmarks can run scaled-down
+versions (e.g. 32x32 maps with 128 time steps) while the defaults match the
+paper's description of the dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.data.dataset import FWIDataset, FWISample
+from repro.seismic.acoustic2d import SimulationConfig
+from repro.seismic.boundary import SpongeBoundary
+from repro.seismic.forward_modeling import ForwardModel
+from repro.seismic.survey import SurveyGeometry
+from repro.seismic.velocity_models import (
+    VelocityModelConfig,
+    random_velocity_models,
+)
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class OpenFWIConfig:
+    """Configuration of the synthetic OpenFWI-style dataset.
+
+    Defaults follow the FlatVelA description in the paper: 70x70 velocity
+    maps, 5 sources, 70 receivers, 1000 recorded time steps, a 15 Hz Ricker
+    source, velocities between 1500 and 4500 m/s with 2-5 flat layers.
+    """
+
+    n_samples: int = 500
+    velocity_shape: tuple = (70, 70)
+    n_sources: int = 5
+    n_receivers: int = 70
+    n_time_steps: int = 1000
+    dx: float = 10.0
+    peak_frequency: float = 15.0
+    family: str = "flat"
+    model_config: Optional[VelocityModelConfig] = None
+    boundary_width: int = 12
+    spatial_order: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        if self.n_time_steps <= 0:
+            raise ValueError("n_time_steps must be positive")
+        if self.model_config is None:
+            self.model_config = VelocityModelConfig(shape=tuple(self.velocity_shape))
+        elif tuple(self.model_config.shape) != tuple(self.velocity_shape):
+            raise ValueError("model_config.shape must match velocity_shape")
+
+
+class SyntheticOpenFWI:
+    """Generator of paired (seismic, velocity) FWI samples."""
+
+    def __init__(self, config: OpenFWIConfig = None, rng: RngLike = None) -> None:
+        self.config = config or OpenFWIConfig()
+        self._rng = ensure_rng(rng)
+        self._forward_model = self._build_forward_model()
+
+    def _build_forward_model(self) -> ForwardModel:
+        config = self.config
+        nz, nx = config.velocity_shape
+        boundary = SpongeBoundary(
+            width=min(config.boundary_width, max(1, min(nz, nx) // 3 - 1)))
+        sim = SimulationConfig(dx=config.dx, dz=config.dx, dt=0.001,
+                               n_steps=config.n_time_steps,
+                               spatial_order=config.spatial_order,
+                               boundary=boundary)
+        # Pick a CFL-stable dt for the fastest velocity the generator can emit.
+        dt = sim.stable_dt(config.model_config.max_velocity)
+        sim = SimulationConfig(dx=config.dx, dz=config.dx, dt=dt,
+                               n_steps=config.n_time_steps,
+                               spatial_order=config.spatial_order,
+                               boundary=boundary)
+        survey = SurveyGeometry(n_sources=config.n_sources,
+                                n_receivers=config.n_receivers, nx=nx)
+        return ForwardModel(survey=survey, config=sim,
+                            peak_frequency=config.peak_frequency)
+
+    @property
+    def forward_model(self) -> ForwardModel:
+        """The forward-modelling engine used to synthesise seismic data."""
+        return self._forward_model
+
+    def sample_velocities(self, count: int = None) -> np.ndarray:
+        """Draw ``count`` velocity maps from the configured family."""
+        count = count or self.config.n_samples
+        return random_velocity_models(count, self.config.model_config,
+                                      family=self.config.family, rng=self._rng)
+
+    def simulate_sample(self, velocity: np.ndarray) -> FWISample:
+        """Forward-model one velocity map into a paired FWI sample."""
+        seismic = self._forward_model.model_shots(velocity)
+        metadata = {
+            "family": self.config.family,
+            "peak_frequency": self.config.peak_frequency,
+            "n_time_steps": self.config.n_time_steps,
+            "dx": self.config.dx,
+        }
+        return FWISample(seismic=seismic, velocity=velocity, metadata=metadata)
+
+    def build(self, count: Optional[int] = None,
+              progress: bool = False) -> FWIDataset:
+        """Generate a full dataset of ``count`` paired samples."""
+        count = count or self.config.n_samples
+        velocities = self.sample_velocities(count)
+        samples = []
+        for index, velocity in enumerate(velocities):
+            samples.append(self.simulate_sample(velocity))
+            if progress and (index + 1) % 10 == 0:
+                print(f"[SyntheticOpenFWI] generated {index + 1}/{count} samples")
+        return FWIDataset(samples, name=f"synthetic-openfwi-{self.config.family}")
+
+
+def build_flatvel_dataset(n_samples: int = 64,
+                          velocity_shape: tuple = (32, 32),
+                          n_time_steps: int = 300,
+                          n_sources: int = 5,
+                          n_receivers: Optional[int] = None,
+                          peak_frequency: float = 15.0,
+                          domain_width: float = 700.0,
+                          family: str = "flat",
+                          rng: RngLike = None) -> FWIDataset:
+    """Build a reduced FlatVelA-style dataset sized for tests and examples.
+
+    The physical domain is kept at OpenFWI's 700 m x 700 m regardless of the
+    grid resolution (``dx = domain_width / width``), so travel times — and
+    therefore the information content of the shot gathers — match the
+    original dataset.  The defaults generate data quickly while preserving
+    the structure the QuGeo pipeline cares about (multi-source shot gathers
+    over flat layered models).  Use :class:`SyntheticOpenFWI` directly for
+    paper-scale data.
+    """
+    config = OpenFWIConfig(
+        n_samples=n_samples,
+        velocity_shape=velocity_shape,
+        n_sources=n_sources,
+        n_receivers=n_receivers or velocity_shape[1],
+        n_time_steps=n_time_steps,
+        dx=domain_width / velocity_shape[1],
+        peak_frequency=peak_frequency,
+        family=family,
+    )
+    return SyntheticOpenFWI(config, rng=rng).build()

@@ -1,0 +1,74 @@
+"""Array resampling.
+
+``D-Sample``, the baseline data-scaling method in the paper, is "a standard
+nearest neighbor resampling algorithm" applied directly to both the waveform
+data and the velocity map.  :func:`nearest_neighbor_resample` implements it;
+:func:`bilinear_resample` is provided for comparison and for smoother
+velocity-map downsampling inside QuGeoData's physics-guided path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def _target_indices(source_size: int, target_size: int) -> np.ndarray:
+    """Nearest-neighbour source index for each target index."""
+    if source_size <= 0 or target_size <= 0:
+        raise ValueError("sizes must be positive")
+    positions = (np.arange(target_size) + 0.5) * source_size / target_size - 0.5
+    return np.clip(np.round(positions).astype(int), 0, source_size - 1)
+
+
+def nearest_neighbor_resample(array: np.ndarray, target_shape: Sequence[int]) -> np.ndarray:
+    """Nearest-neighbour resampling of an N-D array to ``target_shape``."""
+    array = np.asarray(array)
+    target_shape = tuple(int(s) for s in target_shape)
+    if len(target_shape) != array.ndim:
+        raise ValueError(
+            f"target shape {target_shape} rank does not match array rank {array.ndim}")
+    result = array
+    for axis, (src, dst) in enumerate(zip(array.shape, target_shape)):
+        if src == dst:
+            continue
+        indices = _target_indices(src, dst)
+        result = np.take(result, indices, axis=axis)
+    return result
+
+
+def _linear_weights(source_size: int, target_size: int):
+    """Lower index and fractional weight for 1-D linear interpolation."""
+    if source_size <= 0 or target_size <= 0:
+        raise ValueError("sizes must be positive")
+    positions = (np.arange(target_size) + 0.5) * source_size / target_size - 0.5
+    positions = np.clip(positions, 0, source_size - 1)
+    lower = np.floor(positions).astype(int)
+    upper = np.clip(lower + 1, 0, source_size - 1)
+    weight = positions - lower
+    return lower, upper, weight
+
+
+def bilinear_resample(image: np.ndarray, target_shape: Tuple[int, int]) -> np.ndarray:
+    """Bilinear resampling of a 2-D array to ``target_shape``."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError("bilinear_resample expects a 2-D array")
+    rows_lo, rows_hi, row_w = _linear_weights(image.shape[0], target_shape[0])
+    cols_lo, cols_hi, col_w = _linear_weights(image.shape[1], target_shape[1])
+    top = (image[np.ix_(rows_lo, cols_lo)] * (1 - col_w) +
+           image[np.ix_(rows_lo, cols_hi)] * col_w)
+    bottom = (image[np.ix_(rows_hi, cols_lo)] * (1 - col_w) +
+              image[np.ix_(rows_hi, cols_hi)] * col_w)
+    return top * (1 - row_w[:, None]) + bottom * row_w[:, None]
+
+
+def resample_2d(image: np.ndarray, target_shape: Tuple[int, int],
+                method: str = "nearest") -> np.ndarray:
+    """Resample a 2-D array with the requested ``method`` (nearest/bilinear)."""
+    if method == "nearest":
+        return nearest_neighbor_resample(image, target_shape)
+    if method == "bilinear":
+        return bilinear_resample(image, target_shape)
+    raise ValueError(f"unknown method {method!r}")

@@ -1,0 +1,19 @@
+"""Image-quality and regression metrics used throughout the evaluation.
+
+The paper reports Structural Similarity (SSIM) and mean-squared error (MSE)
+between predicted and ground-truth velocity maps; SSIM is also used to score
+the fidelity of scaled seismic data (Figure 6).
+"""
+
+from repro.metrics.ssim import ssim, ssim_map
+from repro.metrics.errors import mse, mae, rmse, psnr, relative_improvement
+
+__all__ = [
+    "ssim",
+    "ssim_map",
+    "mse",
+    "mae",
+    "rmse",
+    "psnr",
+    "relative_improvement",
+]

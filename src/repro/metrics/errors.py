@@ -1,0 +1,67 @@
+"""Element-wise regression error metrics.
+
+These mirror the error measures reported in the paper's tables: MSE is the
+training loss and the headline error metric; MAE/RMSE/PSNR are provided for
+completeness and for the extended benchmark output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_float_arrays(prediction, target):
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"shape mismatch: prediction {prediction.shape} vs target {target.shape}")
+    return prediction, target
+
+
+def mse(prediction, target) -> float:
+    """Mean squared error between ``prediction`` and ``target``."""
+    prediction, target = _as_float_arrays(prediction, target)
+    return float(np.mean((prediction - target) ** 2))
+
+
+def mae(prediction, target) -> float:
+    """Mean absolute error between ``prediction`` and ``target``."""
+    prediction, target = _as_float_arrays(prediction, target)
+    return float(np.mean(np.abs(prediction - target)))
+
+
+def rmse(prediction, target) -> float:
+    """Root mean squared error between ``prediction`` and ``target``."""
+    return float(np.sqrt(mse(prediction, target)))
+
+
+def psnr(prediction, target, data_range: float = None) -> float:
+    """Peak signal-to-noise ratio in decibels.
+
+    Parameters
+    ----------
+    data_range:
+        Dynamic range of the data.  Defaults to ``target.max() - target.min()``.
+    """
+    prediction, target = _as_float_arrays(prediction, target)
+    if data_range is None:
+        data_range = float(target.max() - target.min())
+    if data_range <= 0:
+        raise ValueError("data_range must be positive")
+    error = mse(prediction, target)
+    if error == 0:
+        return float("inf")
+    return float(10.0 * np.log10(data_range**2 / error))
+
+
+def relative_improvement(baseline: float, value: float) -> float:
+    """Fractional improvement of ``value`` over ``baseline``.
+
+    Positive when ``value`` is smaller than ``baseline`` (for error metrics the
+    paper reports e.g. "19.84% MSE improvement"); expressed as a fraction, so
+    0.1984 corresponds to 19.84%.
+    """
+    if baseline == 0:
+        raise ValueError("baseline must be non-zero")
+    return float((baseline - value) / abs(baseline))

@@ -1,0 +1,31 @@
+"""Loss functions for the classical models."""
+
+from __future__ import annotations
+
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor, as_tensor
+
+
+class MSELoss(Module):
+    """Mean squared error, the loss used for both decoders in the paper."""
+
+    def forward(self, prediction: Tensor, target=None) -> Tensor:  # type: ignore[override]
+        raise NotImplementedError("call the loss with (prediction, target)")
+
+    def __call__(self, prediction: Tensor, target) -> Tensor:  # type: ignore[override]
+        prediction = as_tensor(prediction)
+        target = as_tensor(target)
+        diff = prediction - target
+        return (diff * diff).mean()
+
+
+class L1Loss(Module):
+    """Mean absolute error."""
+
+    def forward(self, prediction: Tensor, target=None) -> Tensor:  # type: ignore[override]
+        raise NotImplementedError("call the loss with (prediction, target)")
+
+    def __call__(self, prediction: Tensor, target) -> Tensor:  # type: ignore[override]
+        prediction = as_tensor(prediction)
+        target = as_tensor(target)
+        return (prediction - target).abs().mean()

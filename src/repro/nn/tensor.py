@@ -1,0 +1,365 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+:class:`Tensor` wraps a NumPy array and records the operations applied to it
+in a dynamic computation graph.  Calling :meth:`Tensor.backward` on a scalar
+result propagates gradients to every tensor created with
+``requires_grad=True``.  The operator coverage is exactly what the QuGeo
+classical models need: elementwise arithmetic, matrix multiplication,
+reshaping, reductions, ReLU/sigmoid/tanh, and 2-D convolution / pooling
+(implemented in :mod:`repro.nn.functional`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` to undo NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dimensions that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy array with reverse-mode autograd.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float64``.
+    requires_grad:
+        Track operations on this tensor so gradients can flow back to it.
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "_backward", "_parents", "name")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False,
+                 _parents: Tuple["Tensor", ...] = (), name: str = "") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents = _parents
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    # ------------------------------------------------------------------ #
+    # graph construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _coerce(other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def _make(self, data: np.ndarray, parents: Tuple["Tensor", ...],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires, _parents=parents if requires else ())
+        if requires:
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = np.asarray(grad, dtype=np.float64)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other._accumulate(_unbroadcast(grad, other.shape))
+
+        return self._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        data = -self.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return self._make(data, (self,), backward)
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return self._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            other._accumulate(
+                _unbroadcast(-grad * self.data / (other.data**2), other.shape))
+
+        return self._make(data, (self, other), backward)
+
+    def __rtruediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data**(exponent - 1))
+
+        return self._make(data, (self,), backward)
+
+    def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    self._accumulate(np.outer(grad, other.data)
+                                     if self.data.ndim == 2 else grad * other.data)
+                else:
+                    self._accumulate(
+                        _unbroadcast(grad @ np.swapaxes(other.data, -1, -2), self.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    other._accumulate(np.outer(self.data, grad)
+                                      if other.data.ndim == 2 else self.data * grad)
+                else:
+                    other._accumulate(
+                        _unbroadcast(np.swapaxes(self.data, -1, -2) @ grad, other.shape))
+
+        return self._make(data, (self, other), backward)
+
+    # ------------------------------------------------------------------ #
+    # shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original))
+
+        return self._make(data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        return self._make(data, (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return self._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            grad = np.asarray(grad)
+            if axis is None:
+                self._accumulate(np.broadcast_to(grad, self.shape).copy())
+                return
+            if not keepdims:
+                grad = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(grad, self.shape).copy())
+
+        return self._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    # ------------------------------------------------------------------ #
+    # nonlinearities
+    # ------------------------------------------------------------------ #
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return self._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out * (1.0 - out))
+
+        return self._make(out, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out**2))
+
+        return self._make(out, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        out = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out)
+
+        return self._make(out, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return self._make(out, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * sign)
+
+        return self._make(out, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Back-propagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.
+            Defaults to 1 for scalar tensors.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without an explicit gradient "
+                                 "requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64).reshape(self.shape)
+
+        # Topologically order the graph (iteratively, to avoid recursion
+        # limits on deep networks) so each node's backward runs after all of
+        # its consumers have contributed their gradient.
+        order: List[Tensor] = []
+        visited: Set[int] = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is None or node.grad is None:
+                continue
+            node._backward(node.grad)
+
+
+def as_tensor(value: Union[Tensor, ArrayLike], requires_grad: bool = False) -> Tensor:
+    """Return ``value`` as a :class:`Tensor` (no copy when already a tensor)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)

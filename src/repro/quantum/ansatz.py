@@ -1,0 +1,117 @@
+"""Ansatz construction: the QuGeoVQC circuit structure.
+
+The paper's QuGeoVQC uses the TorchQuantum ``U3 + CU3`` block (one general
+single-qubit rotation on every qubit followed by a ring of controlled-U3
+gates) repeated 12 times, giving ``12 * (3 + 3) * n_qubits = 576`` parameters
+for 8 qubits.  :func:`u3_cu3_ansatz` builds that circuit for a single group;
+:func:`grouped_st_ansatz` builds the grouped ST-VQC variant where each group
+is processed by its own sub-VQC and the groups are entangled gradually with
+cross-group CU3 gates (Section 3.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.quantum.circuit import ParameterizedCircuit
+
+
+def u3_cu3_block(circuit: ParameterizedCircuit,
+                 qubits: Sequence[int]) -> ParameterizedCircuit:
+    """Append one U3+CU3 block acting on ``qubits`` to ``circuit``.
+
+    The block is a U3 on each qubit followed by a ring of CU3 gates
+    ``(q_i -> q_{i+1 mod k})``.  A single qubit gets only the U3 (no
+    self-entanglement is possible).
+    """
+    qubits = list(qubits)
+    for q in qubits:
+        circuit.add_parametric_gate("U3", (q,))
+    if len(qubits) >= 2:
+        for i, q in enumerate(qubits):
+            target = qubits[(i + 1) % len(qubits)]
+            if target == q:
+                continue
+            circuit.add_parametric_gate("CU3", (q, target))
+    return circuit
+
+
+def u3_cu3_ansatz(n_qubits: int, n_blocks: int = 12,
+                  qubits: Optional[Sequence[int]] = None,
+                  circuit: Optional[ParameterizedCircuit] = None
+                  ) -> ParameterizedCircuit:
+    """Build the ``n_blocks`` x (U3+CU3) ansatz used by QuGeoVQC.
+
+    Parameters
+    ----------
+    n_qubits:
+        Register size of the circuit.
+    n_blocks:
+        Number of repeated blocks (the paper uses 12).
+    qubits:
+        Subset of qubits the ansatz acts on; defaults to all of them.  This is
+        how QuBatch integrates: the ansatz targets only data qubits while the
+        batch qubits carry an implicit identity, realising the
+        ``I (x) U(theta)`` structure of Figure 3 in the paper.
+    circuit:
+        Existing circuit to append to; a new one is created if omitted.
+    """
+    if n_blocks <= 0:
+        raise ValueError("n_blocks must be positive")
+    if circuit is None:
+        circuit = ParameterizedCircuit(n_qubits)
+    if qubits is None:
+        qubits = tuple(range(n_qubits))
+    for _ in range(n_blocks):
+        u3_cu3_block(circuit, qubits)
+    return circuit
+
+
+def grouped_st_ansatz(group_qubits: Sequence[Sequence[int]], n_qubits: int,
+                      n_blocks: int = 12,
+                      inter_group_blocks: int = 1) -> ParameterizedCircuit:
+    """Build the grouped ST-VQC: per-group sub-VQCs plus cross-group coupling.
+
+    Parameters
+    ----------
+    group_qubits:
+        Qubit indices of each encoder group.
+    n_qubits:
+        Total register size.
+    n_blocks:
+        U3+CU3 blocks inside each group's sub-VQC.
+    inter_group_blocks:
+        Number of cross-group entangling passes appended after the per-group
+        sub-VQCs; each pass adds a CU3 between the last qubit of a group and
+        the first qubit of the next group, gradually communicating features
+        between groups as described in Section 3.2.2 of the paper.
+    """
+    groups = [tuple(int(q) for q in g) for g in group_qubits]
+    if not groups:
+        raise ValueError("need at least one group")
+    circuit = ParameterizedCircuit(n_qubits)
+    for group in groups:
+        u3_cu3_ansatz(n_qubits, n_blocks=n_blocks, qubits=group, circuit=circuit)
+    if len(groups) >= 2:
+        for _ in range(max(0, inter_group_blocks)):
+            for index in range(len(groups)):
+                source_group = groups[index]
+                target_group = groups[(index + 1) % len(groups)]
+                control = source_group[-1]
+                target = target_group[0]
+                if control != target:
+                    circuit.add_parametric_gate("CU3", (control, target))
+    return circuit
+
+
+def ansatz_parameter_count(n_qubits: int, n_blocks: int) -> int:
+    """Closed-form parameter count of :func:`u3_cu3_ansatz` on all qubits.
+
+    ``n_blocks * (3 * n_qubits + 3 * n_ring)`` where the CU3 ring has
+    ``n_qubits`` gates when ``n_qubits >= 2`` and none otherwise.  For the
+    paper's configuration (8 qubits, 12 blocks) this is 576.
+    """
+    ring = n_qubits if n_qubits >= 2 else 0
+    return n_blocks * (3 * n_qubits + 3 * ring)

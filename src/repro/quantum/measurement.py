@@ -1,0 +1,178 @@
+"""Measurement read-outs and their gradients with respect to the statevector.
+
+QuGeoVQC uses two decoders:
+
+* **Pixel-wise (Q-M-PX)** — the magnitudes of a block of amplitudes, obtained
+  here as the marginal probabilities of a subset of qubits
+  (:func:`marginal_probabilities`),
+* **Layer-wise (Q-M-LY)** — independent Pauli-Z expectations of each qubit
+  (:func:`z_expectations`).
+
+Each read-out also provides the backward rule ``dL/d(psi*)`` needed by the
+reverse-mode differentiation in :mod:`repro.quantum.autodiff`: for a real
+loss ``L`` of the complex state ``psi``, the gradient with respect to a
+circuit parameter is ``2 Re(lambda^dagger dU/dtheta psi)`` where ``lambda =
+dL/d(psi*)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def _bit_signs(n_qubits: int, qubit: int) -> np.ndarray:
+    """Return +-1 for each basis index depending on the value of ``qubit``.
+
+    +1 when the qubit is 0, -1 when it is 1 (qubit 0 is the most significant
+    bit of the basis index).
+    """
+    indices = np.arange(2**n_qubits)
+    bit = (indices >> (n_qubits - 1 - qubit)) & 1
+    return 1.0 - 2.0 * bit
+
+
+def all_probabilities(state: np.ndarray) -> np.ndarray:
+    """Probabilities of every computational basis state."""
+    state = np.asarray(state)
+    return np.abs(state) ** 2
+
+
+def z_expectations(state: np.ndarray, qubits: Sequence[int],
+                   n_qubits: int) -> np.ndarray:
+    """Pauli-Z expectation value of each qubit in ``qubits``."""
+    state = np.asarray(state, dtype=np.complex128).reshape(-1)
+    if state.size != 2**n_qubits:
+        raise ValueError("state length does not match n_qubits")
+    probs = np.abs(state) ** 2
+    values = []
+    for qubit in qubits:
+        if not 0 <= qubit < n_qubits:
+            raise ValueError(f"qubit {qubit} outside register")
+        values.append(float(np.dot(_bit_signs(n_qubits, qubit), probs)))
+    return np.array(values)
+
+
+def z_expectations_backward(state: np.ndarray, qubits: Sequence[int],
+                            n_qubits: int, grad_output: np.ndarray) -> np.ndarray:
+    """Return ``dL/d(psi*)`` for a loss with gradient ``grad_output`` w.r.t.
+    the vector of Z expectations."""
+    state = np.asarray(state, dtype=np.complex128).reshape(-1)
+    grad_output = np.asarray(grad_output, dtype=np.float64).reshape(-1)
+    if grad_output.size != len(qubits):
+        raise ValueError("grad_output length must match number of qubits")
+    lam = np.zeros_like(state)
+    for qubit, g in zip(qubits, grad_output):
+        lam += g * _bit_signs(n_qubits, qubit) * state
+    return lam
+
+
+def marginal_probabilities(state: np.ndarray, qubits: Sequence[int],
+                           n_qubits: int) -> np.ndarray:
+    """Joint outcome probabilities of measuring ``qubits`` (others traced out).
+
+    The returned vector has length ``2**len(qubits)``; outcome index treats
+    ``qubits[0]`` as its most significant bit.
+    """
+    state = np.asarray(state, dtype=np.complex128).reshape(-1)
+    if state.size != 2**n_qubits:
+        raise ValueError("state length does not match n_qubits")
+    qubits = tuple(int(q) for q in qubits)
+    if len(set(qubits)) != len(qubits):
+        raise ValueError("duplicate qubits")
+    for q in qubits:
+        if not 0 <= q < n_qubits:
+            raise ValueError(f"qubit {q} outside register")
+    probs = (np.abs(state) ** 2).reshape((2,) * n_qubits)
+    others = tuple(q for q in range(n_qubits) if q not in qubits)
+    marginal = probs.sum(axis=others) if others else probs
+    # Ensure axis order matches the requested qubit order.
+    remaining_order = [q for q in range(n_qubits) if q in qubits]
+    permutation = [remaining_order.index(q) for q in qubits]
+    marginal = np.transpose(marginal, permutation)
+    return marginal.reshape(-1)
+
+
+def marginal_probabilities_backward(state: np.ndarray, qubits: Sequence[int],
+                                    n_qubits: int,
+                                    grad_output: np.ndarray) -> np.ndarray:
+    """Return ``dL/d(psi*)`` for a loss with gradient ``grad_output`` w.r.t.
+    the marginal probability vector of ``qubits``."""
+    state = np.asarray(state, dtype=np.complex128).reshape(-1)
+    qubits = tuple(int(q) for q in qubits)
+    grad_output = np.asarray(grad_output, dtype=np.float64).reshape(-1)
+    if grad_output.size != 2**len(qubits):
+        raise ValueError("grad_output length must be 2**len(qubits)")
+    # Each basis state j contributes |psi_j|^2 to exactly one outcome k(j);
+    # dL/d(psi*_j) = grad_output[k(j)] * psi_j.
+    indices = np.arange(2**n_qubits)
+    outcome = np.zeros_like(indices)
+    for position, qubit in enumerate(qubits):
+        bit = (indices >> (n_qubits - 1 - qubit)) & 1
+        outcome |= bit << (len(qubits) - 1 - position)
+    return grad_output[outcome] * state
+
+
+def sample_counts(state: np.ndarray, n_shots: int,
+                  rng=None) -> np.ndarray:
+    """Sample measurement outcomes of the full register.
+
+    Real near-term devices estimate probabilities and expectation values from
+    a finite number of shots; this helper draws ``n_shots`` computational
+    basis outcomes from the exact distribution and returns the per-outcome
+    counts, so the shot-noise sensitivity of QuGeoVQC's decoders can be
+    studied without a hardware backend.
+    """
+    from repro.utils.rng import ensure_rng
+
+    if n_shots <= 0:
+        raise ValueError("n_shots must be positive")
+    probs = all_probabilities(np.asarray(state).reshape(-1))
+    probs = probs / probs.sum()
+    rng = ensure_rng(rng)
+    outcomes = rng.choice(probs.size, size=n_shots, p=probs)
+    return np.bincount(outcomes, minlength=probs.size)
+
+
+def sampled_probabilities(state: np.ndarray, n_shots: int,
+                          rng=None) -> np.ndarray:
+    """Shot-noise estimate of the basis-state probabilities."""
+    counts = sample_counts(state, n_shots, rng=rng)
+    return counts / float(n_shots)
+
+
+def sampled_z_expectations(state: np.ndarray, qubits: Sequence[int],
+                           n_qubits: int, n_shots: int,
+                           rng=None) -> np.ndarray:
+    """Shot-noise estimate of the Pauli-Z expectations used by Q-M-LY."""
+    state = np.asarray(state, dtype=np.complex128).reshape(-1)
+    if state.size != 2**n_qubits:
+        raise ValueError("state length does not match n_qubits")
+    estimated = sampled_probabilities(state, n_shots, rng=rng)
+    values = []
+    for qubit in qubits:
+        if not 0 <= qubit < n_qubits:
+            raise ValueError(f"qubit {qubit} outside register")
+        values.append(float(np.dot(_bit_signs(n_qubits, qubit), estimated)))
+    return np.array(values)
+
+
+def conditional_block_probabilities(state: np.ndarray, batch_qubits: int,
+                                    n_qubits: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Split the probability vector into QuBatch blocks.
+
+    With ``batch_qubits`` most-significant qubits indexing the batch, the
+    state's probability vector splits into ``2**batch_qubits`` contiguous
+    blocks of ``2**(n_qubits - batch_qubits)`` entries.  Returns the block
+    matrix ``(n_batches, block_size)`` and the per-block total probability.
+    """
+    state = np.asarray(state, dtype=np.complex128).reshape(-1)
+    if state.size != 2**n_qubits:
+        raise ValueError("state length does not match n_qubits")
+    if not 0 <= batch_qubits < n_qubits:
+        raise ValueError("batch_qubits must be in [0, n_qubits)")
+    n_batches = 2**batch_qubits
+    block = state.reshape(n_batches, -1)
+    probs = np.abs(block) ** 2
+    return probs, probs.sum(axis=1)

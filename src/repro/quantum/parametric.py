@@ -1,0 +1,171 @@
+"""Parameterised gates with analytic parameter derivatives.
+
+Each gate is described by a :class:`ParametricGate`: a function producing the
+unitary matrix from its parameter values and a function producing the list of
+derivative matrices (one per parameter).  The reverse-mode differentiation in
+:mod:`repro.quantum.autodiff` consumes these derivative matrices directly, so
+no finite differences or parameter-shift evaluations are needed during
+training.
+
+The ansatz of the paper uses the TorchQuantum ``U3 + CU3`` block: a general
+single-qubit rotation ``U3(theta, phi, lambda)`` on every qubit followed by a
+ring of controlled ``CU3`` gates, each carrying three parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+
+# --------------------------------------------------------------------------- #
+# single-qubit rotations
+# --------------------------------------------------------------------------- #
+def rx_matrix(params: Sequence[float]) -> np.ndarray:
+    """Rotation about X: ``exp(-i theta X / 2)``."""
+    (theta,) = params
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=np.complex128)
+
+
+def rx_derivatives(params: Sequence[float]) -> List[np.ndarray]:
+    (theta,) = params
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return [0.5 * np.array([[-s, -1j * c], [-1j * c, -s]], dtype=np.complex128)]
+
+
+def ry_matrix(params: Sequence[float]) -> np.ndarray:
+    """Rotation about Y: ``exp(-i theta Y / 2)``."""
+    (theta,) = params
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=np.complex128)
+
+
+def ry_derivatives(params: Sequence[float]) -> List[np.ndarray]:
+    (theta,) = params
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return [0.5 * np.array([[-s, -c], [c, -s]], dtype=np.complex128)]
+
+
+def rz_matrix(params: Sequence[float]) -> np.ndarray:
+    """Rotation about Z: ``exp(-i theta Z / 2)``."""
+    (theta,) = params
+    return np.array([[np.exp(-0.5j * theta), 0],
+                     [0, np.exp(0.5j * theta)]], dtype=np.complex128)
+
+
+def rz_derivatives(params: Sequence[float]) -> List[np.ndarray]:
+    (theta,) = params
+    return [np.array([[-0.5j * np.exp(-0.5j * theta), 0],
+                      [0, 0.5j * np.exp(0.5j * theta)]], dtype=np.complex128)]
+
+
+# --------------------------------------------------------------------------- #
+# U3 and controlled-U3
+# --------------------------------------------------------------------------- #
+def u3_matrix(params: Sequence[float]) -> np.ndarray:
+    """General single-qubit unitary ``U3(theta, phi, lam)`` (OpenQASM convention)."""
+    theta, phi, lam = params
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([
+        [c, -np.exp(1j * lam) * s],
+        [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+    ], dtype=np.complex128)
+
+
+def u3_derivatives(params: Sequence[float]) -> List[np.ndarray]:
+    """Partial derivatives of :func:`u3_matrix` w.r.t. theta, phi, lam."""
+    theta, phi, lam = params
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    d_theta = 0.5 * np.array([
+        [-s, -np.exp(1j * lam) * c],
+        [np.exp(1j * phi) * c, -np.exp(1j * (phi + lam)) * s],
+    ], dtype=np.complex128)
+    d_phi = np.array([
+        [0, 0],
+        [1j * np.exp(1j * phi) * s, 1j * np.exp(1j * (phi + lam)) * c],
+    ], dtype=np.complex128)
+    d_lam = np.array([
+        [0, -1j * np.exp(1j * lam) * s],
+        [0, 1j * np.exp(1j * (phi + lam)) * c],
+    ], dtype=np.complex128)
+    return [d_theta, d_phi, d_lam]
+
+
+def cu3_matrix(params: Sequence[float]) -> np.ndarray:
+    """Controlled-U3 on (control, target): identity block plus ``U3`` block."""
+    u = u3_matrix(params)
+    out = np.eye(4, dtype=np.complex128)
+    out[2:, 2:] = u
+    return out
+
+
+def cu3_derivatives(params: Sequence[float]) -> List[np.ndarray]:
+    derivatives = []
+    for du in u3_derivatives(params):
+        d = np.zeros((4, 4), dtype=np.complex128)
+        d[2:, 2:] = du
+        derivatives.append(d)
+    return derivatives
+
+
+def crx_matrix(params: Sequence[float]) -> np.ndarray:
+    """Controlled-RX on (control, target)."""
+    out = np.eye(4, dtype=np.complex128)
+    out[2:, 2:] = rx_matrix(params)
+    return out
+
+
+def crx_derivatives(params: Sequence[float]) -> List[np.ndarray]:
+    d = np.zeros((4, 4), dtype=np.complex128)
+    d[2:, 2:] = rx_derivatives(params)[0]
+    return [d]
+
+
+@dataclass(frozen=True)
+class ParametricGate:
+    """Description of a parameterised gate family.
+
+    Attributes
+    ----------
+    name:
+        Gate identifier used in circuit programs.
+    n_qubits:
+        Number of qubits the gate acts on.
+    n_params:
+        Number of real parameters.
+    matrix_fn:
+        ``params -> unitary matrix``.
+    derivative_fn:
+        ``params -> [d(unitary)/d(param_i)]``.
+    """
+
+    name: str
+    n_qubits: int
+    n_params: int
+    matrix_fn: Callable[[Sequence[float]], np.ndarray]
+    derivative_fn: Callable[[Sequence[float]], List[np.ndarray]]
+
+    def matrix(self, params: Sequence[float]) -> np.ndarray:
+        if len(params) != self.n_params:
+            raise ValueError(f"{self.name} expects {self.n_params} parameters, "
+                             f"got {len(params)}")
+        return self.matrix_fn(params)
+
+    def derivatives(self, params: Sequence[float]) -> List[np.ndarray]:
+        if len(params) != self.n_params:
+            raise ValueError(f"{self.name} expects {self.n_params} parameters, "
+                             f"got {len(params)}")
+        return self.derivative_fn(params)
+
+
+PARAMETRIC_GATES: Dict[str, ParametricGate] = {
+    "RX": ParametricGate("RX", 1, 1, rx_matrix, rx_derivatives),
+    "RY": ParametricGate("RY", 1, 1, ry_matrix, ry_derivatives),
+    "RZ": ParametricGate("RZ", 1, 1, rz_matrix, rz_derivatives),
+    "U3": ParametricGate("U3", 1, 3, u3_matrix, u3_derivatives),
+    "CU3": ParametricGate("CU3", 2, 3, cu3_matrix, cu3_derivatives),
+    "CRX": ParametricGate("CRX", 2, 1, crx_matrix, crx_derivatives),
+}

@@ -1,0 +1,208 @@
+"""2-D acoustic finite-difference wave propagation.
+
+Implements the governing equation of the paper (Eq. 1),
+
+    laplacian(p) - (1/c^2) d^2 p / dt^2 = s,
+
+for an isotropic constant-density medium, discretised with a 2nd-order
+leap-frog scheme in time and a 4th-order central stencil in space (the "2-8"
+family referenced by the paper; the spatial order is configurable).  Outgoing
+energy is absorbed with a :class:`~repro.seismic.boundary.SpongeBoundary`.
+
+The solver records the pressure field at receiver locations every time step,
+producing the shot gathers that constitute OpenFWI-style seismic data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.seismic.boundary import SpongeBoundary
+
+
+# Central finite-difference coefficients for the second derivative.
+_LAPLACIAN_COEFFS = {
+    2: np.array([1.0, -2.0, 1.0]),
+    4: np.array([-1.0 / 12, 4.0 / 3, -5.0 / 2, 4.0 / 3, -1.0 / 12]),
+    8: np.array([-1.0 / 560, 8.0 / 315, -1.0 / 5, 8.0 / 5, -205.0 / 72,
+                 8.0 / 5, -1.0 / 5, 8.0 / 315, -1.0 / 560]),
+}
+
+
+@dataclass
+class SimulationConfig:
+    """Discretisation parameters of the acoustic simulation.
+
+    Parameters
+    ----------
+    dx, dz:
+        Grid spacing in metres.
+    dt:
+        Time step in seconds.  Must satisfy the CFL condition for the chosen
+        spatial order and maximum velocity; :meth:`validate_cfl` checks it.
+    n_steps:
+        Number of time steps to record.
+    spatial_order:
+        Order of the spatial stencil (2, 4 or 8).
+    boundary:
+        Absorbing boundary configuration.
+    """
+
+    dx: float = 10.0
+    dz: float = 10.0
+    dt: float = 0.001
+    n_steps: int = 1000
+    spatial_order: int = 4
+    boundary: SpongeBoundary = field(default_factory=SpongeBoundary)
+
+    def __post_init__(self) -> None:
+        if self.spatial_order not in _LAPLACIAN_COEFFS:
+            raise ValueError(
+                f"spatial_order must be one of {sorted(_LAPLACIAN_COEFFS)}")
+        if self.dx <= 0 or self.dz <= 0 or self.dt <= 0:
+            raise ValueError("dx, dz and dt must be positive")
+        if self.n_steps <= 0:
+            raise ValueError("n_steps must be positive")
+
+    def cfl_number(self, max_velocity: float) -> float:
+        """Return the Courant number for ``max_velocity``."""
+        return float(max_velocity * self.dt *
+                     np.sqrt(1.0 / self.dx**2 + 1.0 / self.dz**2))
+
+    def validate_cfl(self, max_velocity: float, limit: float = None) -> None:
+        """Raise :class:`ValueError` if the CFL condition is violated."""
+        if limit is None:
+            # Conservative stability limits for the leap-frog scheme.
+            limit = {2: 1.0, 4: 0.857, 8: 0.777}[self.spatial_order]
+        value = self.cfl_number(max_velocity)
+        if value > limit:
+            raise ValueError(
+                f"CFL number {value:.3f} exceeds stability limit {limit:.3f}; "
+                "reduce dt or increase grid spacing")
+
+    def stable_dt(self, max_velocity: float, safety: float = 0.9) -> float:
+        """Return a time step satisfying the CFL condition for ``max_velocity``."""
+        limit = {2: 1.0, 4: 0.857, 8: 0.777}[self.spatial_order]
+        return float(safety * limit /
+                     (max_velocity * np.sqrt(1.0 / self.dx**2 + 1.0 / self.dz**2)))
+
+
+class AcousticSimulator2D:
+    """Leap-frog acoustic wave propagator on a regular 2-D grid.
+
+    Parameters
+    ----------
+    velocity:
+        2-D array of wave velocities in m/s, indexed ``[depth, offset]``.
+    config:
+        Discretisation parameters.  ``config.dt`` is checked against the CFL
+        condition on construction.
+    """
+
+    def __init__(self, velocity: np.ndarray, config: SimulationConfig = None) -> None:
+        self.velocity = np.asarray(velocity, dtype=np.float64)
+        if self.velocity.ndim != 2:
+            raise ValueError("velocity must be a 2-D array [depth, offset]")
+        if np.any(self.velocity <= 0):
+            raise ValueError("velocities must be strictly positive")
+        self.config = config or SimulationConfig()
+        self.config.validate_cfl(float(self.velocity.max()))
+        self._mask = self.config.boundary.build_mask(self.velocity.shape)
+        self._coeffs = _LAPLACIAN_COEFFS[self.config.spatial_order]
+        self._pad = len(self._coeffs) // 2
+
+    # ------------------------------------------------------------------ #
+    # numerics
+    # ------------------------------------------------------------------ #
+    def _laplacian(self, field: np.ndarray) -> np.ndarray:
+        """4th/2nd/8th-order Laplacian with edge replication padding."""
+        pad = self._pad
+        coeffs = self._coeffs
+        padded = np.pad(field, pad, mode="edge")
+        nz, nx = field.shape
+        lap = np.zeros_like(field)
+        for k, c in enumerate(coeffs):
+            offset = k - pad
+            lap += c * padded[pad + offset:pad + offset + nz, pad:pad + nx] / self.config.dz**2
+            lap += c * padded[pad:pad + nz, pad + offset:pad + offset + nx] / self.config.dx**2
+        return lap
+
+    # ------------------------------------------------------------------ #
+    # simulation
+    # ------------------------------------------------------------------ #
+    def simulate_shot(self, source_position: Tuple[int, int],
+                      source_wavelet: Sequence[float],
+                      receiver_positions: Iterable[Tuple[int, int]],
+                      record_wavefield: bool = False,
+                      wavefield_stride: int = 10):
+        """Propagate one shot and record traces at the receivers.
+
+        Parameters
+        ----------
+        source_position:
+            ``(row, column)`` grid index where the source injects energy.
+        source_wavelet:
+            Source time function; padded/truncated to ``config.n_steps``.
+        receiver_positions:
+            Iterable of ``(row, column)`` receiver grid indices.
+        record_wavefield:
+            Also return pressure snapshots every ``wavefield_stride`` steps
+            (used by visual examples; costs memory).
+
+        Returns
+        -------
+        numpy.ndarray
+            Shot gather of shape ``(n_steps, n_receivers)``.
+        list of numpy.ndarray, optional
+            Pressure snapshots when ``record_wavefield`` is true.
+        """
+        nz, nx = self.velocity.shape
+        src_z, src_x = source_position
+        if not (0 <= src_z < nz and 0 <= src_x < nx):
+            raise ValueError(f"source {source_position} outside grid {self.velocity.shape}")
+        receivers: List[Tuple[int, int]] = list(receiver_positions)
+        for rz, rx in receivers:
+            if not (0 <= rz < nz and 0 <= rx < nx):
+                raise ValueError(f"receiver ({rz}, {rx}) outside grid")
+
+        n_steps = self.config.n_steps
+        wavelet = np.zeros(n_steps, dtype=np.float64)
+        src = np.asarray(source_wavelet, dtype=np.float64)
+        wavelet[:min(n_steps, src.size)] = src[:n_steps]
+
+        dt2 = self.config.dt**2
+        c2 = self.velocity**2
+
+        p_prev = np.zeros((nz, nx), dtype=np.float64)
+        p_curr = np.zeros((nz, nx), dtype=np.float64)
+        gather = np.zeros((n_steps, len(receivers)), dtype=np.float64)
+        snapshots: List[np.ndarray] = []
+
+        rec_rows = np.array([r for r, _ in receivers], dtype=np.intp)
+        rec_cols = np.array([c for _, c in receivers], dtype=np.intp)
+
+        # Source scaling: inject s * c^2 * dt^2 at the source cell, normalised
+        # by the cell area so amplitudes are grid-independent.
+        src_scale = c2[src_z, src_x] * dt2 / (self.config.dx * self.config.dz)
+
+        for step in range(n_steps):
+            lap = self._laplacian(p_curr)
+            p_next = 2.0 * p_curr - p_prev + dt2 * c2 * lap
+            p_next[src_z, src_x] += wavelet[step] * src_scale
+
+            # Sponge damping on both time levels keeps the scheme stable.
+            p_next *= self._mask
+            p_curr *= self._mask
+
+            gather[step] = p_next[rec_rows, rec_cols]
+            if record_wavefield and step % wavefield_stride == 0:
+                snapshots.append(p_next.copy())
+
+            p_prev, p_curr = p_curr, p_next
+
+        if record_wavefield:
+            return gather, snapshots
+        return gather

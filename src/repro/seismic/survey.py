@@ -1,0 +1,82 @@
+"""Acquisition geometry: where sources fire and receivers record.
+
+OpenFWI's FlatVelA surveys place 5 sources and 70 receivers evenly along the
+surface of a 700 m wide model.  :class:`SurveyGeometry` captures that layout
+in grid coordinates and provides helpers for building scaled-down surveys
+used after QuGeoData compression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class SurveyGeometry:
+    """Surface acquisition geometry on a regular 2-D grid.
+
+    Parameters
+    ----------
+    n_sources:
+        Number of shot locations.
+    n_receivers:
+        Number of receivers recording every shot.
+    nx:
+        Number of horizontal grid points of the velocity model.
+    source_depth, receiver_depth:
+        Depth (grid rows) at which sources/receivers sit; 0 or 1 keeps them at
+        the surface as in OpenFWI.
+    """
+
+    n_sources: int = 5
+    n_receivers: int = 70
+    nx: int = 70
+    source_depth: int = 1
+    receiver_depth: int = 1
+    source_columns: List[int] = field(default_factory=list)
+    receiver_columns: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_sources <= 0 or self.n_receivers <= 0:
+            raise ValueError("surveys need at least one source and one receiver")
+        if self.nx < max(self.n_sources, self.n_receivers):
+            raise ValueError(
+                "grid width must be at least the number of sources/receivers")
+        if not self.source_columns:
+            self.source_columns = [int(c) for c in
+                                   np.linspace(0, self.nx - 1, self.n_sources)]
+        if not self.receiver_columns:
+            self.receiver_columns = [int(c) for c in
+                                     np.linspace(0, self.nx - 1, self.n_receivers)]
+        if len(self.source_columns) != self.n_sources:
+            raise ValueError("source_columns length must equal n_sources")
+        if len(self.receiver_columns) != self.n_receivers:
+            raise ValueError("receiver_columns length must equal n_receivers")
+
+    def source_positions(self) -> List[Tuple[int, int]]:
+        """Return ``(row, column)`` grid positions of every source."""
+        return [(self.source_depth, col) for col in self.source_columns]
+
+    def receiver_positions(self) -> List[Tuple[int, int]]:
+        """Return ``(row, column)`` grid positions of every receiver."""
+        return [(self.receiver_depth, col) for col in self.receiver_columns]
+
+    def scaled(self, nx: int, n_sources: int = None,
+               n_receivers: int = None) -> "SurveyGeometry":
+        """Return a survey with the same layout on a grid of width ``nx``.
+
+        Used by QuGeoData when forward modelling on a downsampled velocity
+        map: the number of sources is preserved (each source is an
+        independent physical event) while receivers are re-spread over the
+        coarser grid.
+        """
+        return SurveyGeometry(
+            n_sources=n_sources or self.n_sources,
+            n_receivers=n_receivers or min(self.n_receivers, nx),
+            nx=nx,
+            source_depth=min(self.source_depth, 1),
+            receiver_depth=min(self.receiver_depth, 1),
+        )

@@ -1,0 +1,182 @@
+"""OpenFWI-style velocity-model generators.
+
+The paper evaluates on OpenFWI's FlatVelA family: 70x70 velocity maps made of
+a handful of flat layers with velocities that increase (on average) with
+depth.  The public dataset cannot be bundled offline, so this module rebuilds
+statistically equivalent models:
+
+* :func:`flat_layer_model` — FlatVel-style flat layered subsurfaces,
+* :func:`curved_layer_model` — CurveVel-style gently folded layers (used by
+  the paper's discussion of generalising the layer-wise decoder),
+* :func:`flat_fault_model` — FlatFault-style layered models offset by a
+  normal fault (an extension family for robustness experiments).
+
+All generators honour OpenFWI's velocity range (1500-4500 m/s) and layer
+count statistics (2-5 layers for the "A" difficulty tier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class VelocityModelConfig:
+    """Statistical description of a velocity-model family.
+
+    Parameters
+    ----------
+    shape:
+        ``(depth, width)`` of the generated maps (OpenFWI uses 70x70).
+    min_velocity, max_velocity:
+        Velocity range in m/s (OpenFWI uses 1500-4500).
+    min_layers, max_layers:
+        Inclusive range of layer counts ("A" tier uses 2-5).
+    increasing_velocity:
+        If ``True``, layer velocities are sorted so they increase with depth,
+        as is typical of compacting sedimentary basins.
+    """
+
+    shape: tuple = (70, 70)
+    min_velocity: float = 1500.0
+    max_velocity: float = 4500.0
+    min_layers: int = 2
+    max_layers: int = 5
+    increasing_velocity: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.shape) != 2 or min(self.shape) < 2:
+            raise ValueError("shape must be a 2-D size of at least 2x2")
+        if self.min_velocity <= 0 or self.max_velocity <= self.min_velocity:
+            raise ValueError("velocity range must be positive and increasing")
+        if self.min_layers < 1 or self.max_layers < self.min_layers:
+            raise ValueError("invalid layer-count range")
+        if self.max_layers > self.shape[0]:
+            raise ValueError("cannot fit more layers than depth samples")
+
+
+def _sample_layer_structure(config: VelocityModelConfig,
+                            rng: np.random.Generator):
+    """Sample layer boundaries (row indices) and per-layer velocities."""
+    depth = config.shape[0]
+    n_layers = int(rng.integers(config.min_layers, config.max_layers + 1))
+    # Interface depths: distinct interior rows, sorted.
+    if n_layers > 1:
+        interfaces = np.sort(rng.choice(np.arange(2, depth - 1),
+                                        size=n_layers - 1, replace=False))
+    else:
+        interfaces = np.array([], dtype=int)
+    velocities = rng.uniform(config.min_velocity, config.max_velocity,
+                             size=n_layers)
+    if config.increasing_velocity:
+        velocities = np.sort(velocities)
+    return interfaces, velocities
+
+
+def flat_layer_model(config: VelocityModelConfig = None,
+                     rng: RngLike = None) -> np.ndarray:
+    """Generate one FlatVel-style velocity map (flat horizontal layers)."""
+    config = config or VelocityModelConfig()
+    rng = ensure_rng(rng)
+    depth, width = config.shape
+    interfaces, velocities = _sample_layer_structure(config, rng)
+    model = np.empty((depth, width), dtype=np.float64)
+    boundaries = np.concatenate([[0], interfaces, [depth]])
+    for layer, velocity in enumerate(velocities):
+        model[boundaries[layer]:boundaries[layer + 1], :] = velocity
+    return model
+
+
+def curved_layer_model(config: VelocityModelConfig = None,
+                       rng: RngLike = None,
+                       max_fold_amplitude: float = 0.12) -> np.ndarray:
+    """Generate a CurveVel-style map: layers folded by a smooth sinusoid.
+
+    Parameters
+    ----------
+    max_fold_amplitude:
+        Maximum vertical displacement of an interface as a fraction of the
+        model depth.
+    """
+    config = config or VelocityModelConfig()
+    rng = ensure_rng(rng)
+    depth, width = config.shape
+    interfaces, velocities = _sample_layer_structure(config, rng)
+    x = np.linspace(0.0, 1.0, width)
+    model = np.full((depth, width), velocities[0], dtype=np.float64)
+    for layer in range(1, len(velocities)):
+        base_depth = interfaces[layer - 1]
+        amplitude = rng.uniform(0.0, max_fold_amplitude) * depth
+        phase = rng.uniform(0.0, 2 * np.pi)
+        cycles = rng.uniform(0.5, 2.0)
+        curve = base_depth + amplitude * np.sin(2 * np.pi * cycles * x + phase)
+        curve = np.clip(np.round(curve).astype(int), 1, depth - 1)
+        for col in range(width):
+            model[curve[col]:, col] = velocities[layer]
+    return model
+
+
+def flat_fault_model(config: VelocityModelConfig = None,
+                     rng: RngLike = None,
+                     max_throw_fraction: float = 0.2) -> np.ndarray:
+    """Generate a FlatFault-style map: flat layers cut by one normal fault.
+
+    Parameters
+    ----------
+    max_throw_fraction:
+        Maximum vertical offset across the fault as a fraction of depth.
+    """
+    config = config or VelocityModelConfig()
+    rng = ensure_rng(rng)
+    depth, width = config.shape
+    base = flat_layer_model(config, rng)
+    fault_column = int(rng.integers(width // 4, 3 * width // 4))
+    throw = int(rng.integers(1, max(2, int(max_throw_fraction * depth))))
+    faulted = base.copy()
+    # The hanging wall (right of the fault) drops by `throw` rows.
+    shifted = np.roll(base[:, fault_column:], throw, axis=0)
+    shifted[:throw, :] = base[0, 0]
+    faulted[:, fault_column:] = shifted
+    return faulted
+
+
+_FAMILIES = {
+    "flat": flat_layer_model,
+    "curve": curved_layer_model,
+    "fault": flat_fault_model,
+}
+
+
+def random_velocity_models(count: int, config: VelocityModelConfig = None,
+                           family: str = "flat",
+                           rng: RngLike = None) -> np.ndarray:
+    """Generate ``count`` velocity maps of the requested ``family``.
+
+    Returns an array of shape ``(count, depth, width)``.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if family not in _FAMILIES:
+        raise ValueError(f"unknown family {family!r}; choose from {sorted(_FAMILIES)}")
+    config = config or VelocityModelConfig()
+    rng = ensure_rng(rng)
+    generator = _FAMILIES[family]
+    return np.stack([generator(config, rng) for _ in range(count)])
+
+
+def layer_profile(model: np.ndarray) -> np.ndarray:
+    """Return the per-row mean velocity of ``model`` (a depth profile).
+
+    For flat layered models this is the exact layer velocity of each row; for
+    curved/faulted models it is the lateral average, matching the quantity the
+    layer-wise decoder (Q-M-LY) regresses.
+    """
+    model = np.asarray(model, dtype=np.float64)
+    if model.ndim != 2:
+        raise ValueError("model must be 2-D")
+    return model.mean(axis=1)

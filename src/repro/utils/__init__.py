@@ -1,0 +1,7 @@
+"""Shared utilities: RNG handling, ASCII tables, and simple run logging."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.tables import format_table
+from repro.utils.logging import RunLogger
+
+__all__ = ["ensure_rng", "spawn_rngs", "format_table", "RunLogger"]

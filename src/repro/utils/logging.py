@@ -1,0 +1,56 @@
+"""A minimal structured run logger.
+
+Training loops record scalar metrics per epoch; the logger keeps them in
+memory (for tests and plots) and can optionally echo them to stdout.  It is a
+tiny replacement for TensorBoard-style logging that keeps the library free of
+external dependencies.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+
+class RunLogger:
+    """Collects per-step scalar metrics keyed by name."""
+
+    def __init__(self, name: str = "run", verbose: bool = False,
+                 print_every: int = 1) -> None:
+        self.name = name
+        self.verbose = verbose
+        self.print_every = max(1, int(print_every))
+        self._history: Dict[str, List[float]] = defaultdict(list)
+        self._steps: Dict[str, List[int]] = defaultdict(list)
+
+    def log(self, step: int, **metrics: float) -> None:
+        """Record ``metrics`` at ``step`` (typically the epoch index)."""
+        for key, value in metrics.items():
+            self._history[key].append(float(value))
+            self._steps[key].append(int(step))
+        if self.verbose and step % self.print_every == 0:
+            rendered = ", ".join(f"{k}={float(v):.6g}" for k, v in metrics.items())
+            print(f"[{self.name}] step {step}: {rendered}")
+
+    def history(self, key: str) -> List[float]:
+        """Return every recorded value of metric ``key`` in log order."""
+        return list(self._history[key])
+
+    def steps(self, key: str) -> List[int]:
+        """Return the step indices at which ``key`` was recorded."""
+        return list(self._steps[key])
+
+    def last(self, key: str, default: Optional[float] = None) -> Optional[float]:
+        """Return the most recent value of ``key`` or ``default`` if absent."""
+        values = self._history.get(key)
+        if not values:
+            return default
+        return values[-1]
+
+    def keys(self) -> List[str]:
+        """Return the metric names recorded so far."""
+        return sorted(self._history)
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        """Return a copy of the full metric history."""
+        return {key: list(values) for key, values in self._history.items()}

@@ -1,0 +1,47 @@
+"""Random-number-generator helpers.
+
+Every stochastic component in the library accepts either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy).  These
+helpers normalise the three forms so call sites stay short and deterministic
+experiments remain reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh entropy), an integer seed, or an existing generator
+        (returned unchanged).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"Cannot build a Generator from {type(rng).__name__}")
+
+
+def spawn_rngs(rng: RngLike, count: int) -> List[np.random.Generator]:
+    """Create ``count`` independent child generators from ``rng``.
+
+    Children are derived through :class:`numpy.random.SeedSequence` spawning
+    so that parallel workloads (e.g. per-shot forward modelling) do not share
+    streams.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    parent = ensure_rng(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

@@ -1,0 +1,55 @@
+"""Plain-text table rendering used by the benchmark harnesses.
+
+The paper reports results as tables and figure series; the benches print the
+same rows with :func:`format_table` so outputs can be compared side by side
+with the publication.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _stringify(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; each row must have ``len(headers)`` items.
+    title:
+        Optional title printed above the table.
+    """
+    header_cells = [str(h) for h in headers]
+    body: List[List[str]] = []
+    for row in rows:
+        cells = [_stringify(cell) for cell in row]
+        if len(cells) != len(header_cells):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(header_cells)}")
+        body.append(cells)
+
+    widths = [len(h) for h in header_cells]
+    for cells in body:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(header_cells))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(fmt_row(cells) for cells in body)
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Tests for the QuGeo configuration dataclasses."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    QuGeoConfig,
+    QuGeoDataConfig,
+    QuGeoVQCConfig,
+    TrainingConfig,
+)
+
+
+class TestQuGeoDataConfig:
+    def test_defaults_match_paper(self):
+        config = QuGeoDataConfig()
+        assert config.scaled_seismic_size == 256
+        assert config.scaled_velocity_shape == (8, 8)
+        assert config.velocity_range == (1500.0, 4500.0)
+
+    def test_sizes(self):
+        config = QuGeoDataConfig(scaled_seismic_shape=(2, 4, 4),
+                                 scaled_velocity_shape=(4, 4))
+        assert config.scaled_seismic_size == 32
+        assert config.scaled_velocity_size == 16
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            QuGeoDataConfig(scaled_seismic_shape=(0, 8, 8))
+        with pytest.raises(ValueError):
+            QuGeoDataConfig(scaled_velocity_shape=(8,))
+        with pytest.raises(ValueError):
+            QuGeoDataConfig(velocity_range=(4500.0, 1500.0))
+
+
+class TestQuGeoVQCConfig:
+    def test_paper_configuration(self):
+        """8 qubits / 12 blocks / 256 inputs / <16 qubits budget."""
+        config = QuGeoVQCConfig()
+        assert config.data_qubits == 8
+        assert config.total_qubits == 8
+        assert config.input_size == 256
+        assert config.n_blocks == 12
+        assert config.total_qubits <= 16
+
+    def test_qubit_budget_enforced(self):
+        with pytest.raises(ValueError):
+            QuGeoVQCConfig(n_groups=3, qubits_per_group=8, max_qubits=16)
+
+    def test_batch_qubits_count_towards_budget(self):
+        config = QuGeoVQCConfig(n_batch_qubits=2)
+        assert config.total_qubits == 10
+        assert config.batch_size == 4
+
+    def test_pixel_decoder_needs_enough_readout(self):
+        with pytest.raises(ValueError):
+            QuGeoVQCConfig(qubits_per_group=4, decoder="pixel",
+                           output_shape=(8, 8))
+
+    def test_layer_decoder_needs_one_qubit_per_row(self):
+        with pytest.raises(ValueError):
+            QuGeoVQCConfig(qubits_per_group=4, decoder="layer",
+                           output_shape=(8, 8))
+
+    def test_invalid_decoder(self):
+        with pytest.raises(ValueError):
+            QuGeoVQCConfig(decoder="bogus")
+
+    def test_readout_qubits_needed(self):
+        assert QuGeoVQCConfig(output_shape=(8, 8)).readout_qubits_needed == 6
+
+
+class TestTrainingConfig:
+    def test_defaults_match_paper(self):
+        config = TrainingConfig()
+        assert config.epochs == 500
+        assert config.learning_rate == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(learning_rate=-1)
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=0)
+
+
+class TestQuGeoConfig:
+    def test_defaults_are_consistent(self):
+        config = QuGeoConfig()
+        assert config.data.scaled_seismic_size <= config.vqc.input_size
+        assert config.data.scaled_velocity_shape == config.vqc.output_shape
+
+    def test_rejects_capacity_mismatch(self):
+        with pytest.raises(ValueError):
+            QuGeoConfig(data=QuGeoDataConfig(scaled_seismic_shape=(8, 8, 8)))
+
+    def test_rejects_output_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            QuGeoConfig(data=QuGeoDataConfig(scaled_velocity_shape=(4, 4)))
+
+    def test_rejects_unknown_scaling_method(self):
+        with pytest.raises(ValueError):
+            QuGeoConfig(scaling_method="bogus")

@@ -1,0 +1,157 @@
+"""Tests for QuGeoData: D-Sample, Q-D-FW and Q-D-CNN scalers."""
+
+import numpy as np
+import pytest
+
+from repro.core.classical_models import CompressionCNN
+from repro.core.config import QuGeoDataConfig
+from repro.core.data_scaling import (
+    CNNScaler,
+    DSampleScaler,
+    ForwardModelingScaler,
+    ScaledSample,
+    scale_dataset,
+)
+from repro.metrics import ssim
+
+
+class TestDSampleScaler:
+    def test_scaled_shapes(self, tiny_dataset, small_data_config):
+        scaler = DSampleScaler(small_data_config)
+        scaled = scaler.scale_sample(tiny_dataset[0])
+        assert scaled.seismic.shape == small_data_config.scaled_seismic_shape
+        assert scaled.velocity.shape == small_data_config.scaled_velocity_shape
+
+    def test_velocity_normalised(self, tiny_dataset, small_data_config):
+        scaled = DSampleScaler(small_data_config).scale_sample(tiny_dataset[0])
+        assert scaled.velocity.min() >= 0.0
+        assert scaled.velocity.max() <= 1.0
+
+    def test_method_recorded(self, tiny_dataset, small_data_config):
+        scaled = DSampleScaler(small_data_config).scale_sample(tiny_dataset[0])
+        assert scaled.method == "D-Sample"
+        assert isinstance(scaled, ScaledSample)
+
+    def test_seismic_values_subset_of_original(self, tiny_dataset, small_data_config):
+        sample = tiny_dataset[0]
+        scaled = DSampleScaler(small_data_config).scale_sample(sample)
+        assert np.all(np.isin(scaled.seismic, sample.seismic))
+
+    def test_scale_dataset(self, tiny_dataset, small_data_config):
+        scaler = DSampleScaler(small_data_config)
+        scaled = scale_dataset(scaler, tiny_dataset)
+        assert len(scaled) == len(tiny_dataset)
+
+    def test_seismic_vector_length(self, tiny_dataset, small_data_config):
+        scaled = DSampleScaler(small_data_config).scale_sample(tiny_dataset[0])
+        assert scaled.seismic_vector().size == small_data_config.scaled_seismic_size
+
+
+class TestForwardModelingScaler:
+    def test_scaled_shapes(self, tiny_dataset, small_data_config):
+        scaler = ForwardModelingScaler(small_data_config,
+                                       simulation_shape=(16, 16),
+                                       simulation_steps=64)
+        scaled = scaler.scale_sample(tiny_dataset[0])
+        assert scaled.seismic.shape == small_data_config.scaled_seismic_shape
+        assert scaled.velocity.shape == small_data_config.scaled_velocity_shape
+        assert scaled.method == "Q-D-FW"
+
+    def test_produces_physical_waveforms(self, tiny_scaled_dataset):
+        for sample in tiny_scaled_dataset:
+            assert np.all(np.isfinite(sample.seismic))
+            assert np.abs(sample.seismic).max() > 0
+
+    def test_differs_from_naive_downsampling(self, tiny_dataset, small_data_config):
+        """Re-simulated data must not equal nearest-neighbour decimation."""
+        fw = ForwardModelingScaler(small_data_config, simulation_shape=(16, 16),
+                                   simulation_steps=64)
+        ds = DSampleScaler(small_data_config)
+        sample = tiny_dataset[0]
+        assert not np.allclose(fw.scale_sample(sample).seismic,
+                               ds.scale_sample(sample).seismic)
+
+    def test_scaled_frequency_lowered(self, small_data_config):
+        scaler = ForwardModelingScaler(small_data_config)
+        assert scaler.scaled_frequency(1000) == pytest.approx(
+            small_data_config.scaled_peak_frequency)
+        config = QuGeoDataConfig(scaled_seismic_shape=(1, 8, 8),
+                                 scaled_velocity_shape=(6, 6),
+                                 scaled_peak_frequency=None)
+        derived = ForwardModelingScaler(config).scaled_frequency(1000)
+        assert derived < config.original_peak_frequency
+
+    def test_velocity_uses_bilinear(self, tiny_dataset, small_data_config):
+        """Q-D-FW smooths the velocity map rather than picking nearest cells."""
+        scaler = ForwardModelingScaler(small_data_config, simulation_shape=(16, 16),
+                                       simulation_steps=64)
+        scaled = scaler.scale_sample(tiny_dataset[0])
+        original_unique = np.unique(tiny_dataset[0].velocity).size
+        assert np.unique(scaled.velocity).size >= min(original_unique, 4)
+
+    def test_simulation_steps_validation(self, small_data_config):
+        with pytest.raises(ValueError):
+            ForwardModelingScaler(small_data_config, simulation_steps=2)
+
+
+class TestCNNScaler:
+    @pytest.fixture(scope="class")
+    def trained_scaler(self, tiny_dataset, small_data_config):
+        reference = ForwardModelingScaler(small_data_config,
+                                          simulation_shape=(16, 16),
+                                          simulation_steps=64)
+        return CNNScaler.train(tiny_dataset, config=small_data_config,
+                               reference_scaler=reference, epochs=15,
+                               learning_rate=0.01, batch_size=3, rng=0)
+
+    def test_scaled_shapes(self, trained_scaler, tiny_dataset, small_data_config):
+        scaled = trained_scaler.scale_sample(tiny_dataset[0])
+        assert scaled.seismic.shape == small_data_config.scaled_seismic_shape
+        assert scaled.method == "Q-D-CNN"
+
+    def test_learns_to_approximate_physics_guided_data(self, trained_scaler,
+                                                       tiny_dataset,
+                                                       small_data_config):
+        """The compressor output should resemble Q-D-FW more than noise does."""
+        reference = ForwardModelingScaler(small_data_config,
+                                          simulation_shape=(16, 16),
+                                          simulation_steps=64)
+        sample = tiny_dataset[0]
+        target = reference.scale_seismic(sample).reshape(-1)
+        predicted = trained_scaler.scale_seismic(sample).reshape(-1)
+        rng = np.random.default_rng(0)
+        noise = rng.normal(0, target.std() + 1e-9, size=target.size)
+        error_cnn = np.mean((predicted - target) ** 2)
+        error_noise = np.mean((noise - target) ** 2)
+        assert error_cnn < error_noise
+
+    def test_requires_training_data(self, small_data_config):
+        with pytest.raises(ValueError):
+            CNNScaler.train([], config=small_data_config)
+
+    def test_wraps_existing_compressor(self, tiny_dataset, small_data_config):
+        sample = tiny_dataset[0]
+        compressor = CompressionCNN(input_shape=sample.seismic.shape,
+                                    output_size=small_data_config.scaled_seismic_size,
+                                    rng=0)
+        scaler = CNNScaler(compressor, small_data_config)
+        assert scaler.scale_sample(sample).seismic.shape == \
+            small_data_config.scaled_seismic_shape
+
+
+class TestScaledDataQuality:
+    def test_velocity_targets_match_between_scalers(self, tiny_dataset,
+                                                    small_data_config):
+        """All scalers regress maps of the same shape and normalisation."""
+        d_sample = DSampleScaler(small_data_config).scale_sample(tiny_dataset[0])
+        fw = ForwardModelingScaler(small_data_config, simulation_shape=(16, 16),
+                                   simulation_steps=64).scale_sample(tiny_dataset[0])
+        assert d_sample.velocity.shape == fw.velocity.shape
+        # Same underlying model, so the scaled maps must be highly similar.
+        assert ssim(d_sample.velocity, fw.velocity, data_range=1.0) > 0.5
+
+    def test_layered_structure_survives_scaling(self, tiny_scaled_dataset):
+        """Deeper rows should not be slower than shallow rows on average."""
+        for sample in tiny_scaled_dataset:
+            profile = sample.velocity.mean(axis=1)
+            assert profile[-1] >= profile[0] - 0.2

@@ -1,0 +1,255 @@
+"""Tests for trainers, the experiment harness and the end-to-end QuGeo pipeline.
+
+These are integration tests: they train tiny models for a handful of epochs
+on the session-scoped fixture datasets, checking that the training machinery
+improves the objective and that the harness reports coherent results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClassicalTrainer,
+    QuantumTrainer,
+    QuGeo,
+    QuGeoConfig,
+    QuGeoVQC,
+    QuBatchVQC,
+    build_cnn_ly,
+    build_cnn_px,
+    evaluate_model,
+)
+from repro.core.config import QuGeoDataConfig, QuGeoVQCConfig, TrainingConfig
+from repro.core.experiment import (
+    ExperimentResult,
+    count_interface_matches,
+    results_table,
+    vertical_profile,
+)
+from repro.core.training import TrainingResult, evaluate_predictions
+from repro.data.dataset import train_test_split
+
+
+def _vqc_config(decoder="layer", n_batch_qubits=0):
+    return QuGeoVQCConfig(n_groups=1, qubits_per_group=6, n_blocks=2,
+                          decoder=decoder, output_shape=(6, 6),
+                          n_batch_qubits=n_batch_qubits)
+
+
+def _training_config(epochs=6):
+    return TrainingConfig(epochs=epochs, learning_rate=0.1, batch_size=3,
+                          eval_every=3, seed=0)
+
+
+class TestEvaluatePredictions:
+    def test_perfect_prediction(self):
+        maps = np.random.default_rng(0).random((4, 6, 6))
+        metrics = evaluate_predictions(maps, maps)
+        assert metrics["ssim"] == pytest.approx(1.0)
+        assert metrics["mse"] == pytest.approx(0.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_predictions(np.zeros((2, 4, 4)), np.zeros((3, 4, 4)))
+
+
+class TestQuantumTrainer:
+    def test_training_reduces_loss(self, tiny_scaled_dataset):
+        model = QuGeoVQC(_vqc_config("layer"), rng=0)
+        trainer = QuantumTrainer(_training_config(epochs=8))
+        result = trainer.train(model, tiny_scaled_dataset, tiny_scaled_dataset)
+        losses = result.history("train_loss")
+        assert losses[-1] < losses[0]
+
+    def test_result_contains_metrics(self, tiny_scaled_dataset):
+        model = QuGeoVQC(_vqc_config("layer"), rng=0)
+        result = QuantumTrainer(_training_config(epochs=4)).train(
+            model, tiny_scaled_dataset, tiny_scaled_dataset)
+        assert isinstance(result, TrainingResult)
+        assert 0.0 <= result.final_metrics["test_ssim"] <= 1.0
+        assert result.final_metrics["test_mse"] >= 0.0
+
+    def test_learning_rate_follows_cosine_schedule(self, tiny_scaled_dataset):
+        model = QuGeoVQC(_vqc_config("layer"), rng=0)
+        result = QuantumTrainer(_training_config(epochs=6)).train(
+            model, tiny_scaled_dataset)
+        lrs = result.history("lr")
+        assert lrs[0] > lrs[-1]
+
+    def test_trains_pixel_decoder(self, tiny_scaled_dataset):
+        model = QuGeoVQC(_vqc_config("pixel"), rng=0)
+        result = QuantumTrainer(_training_config(epochs=4)).train(
+            model, tiny_scaled_dataset, tiny_scaled_dataset)
+        assert np.isfinite(result.final_metrics["test_mse"])
+
+    def test_trains_qubatch_model(self, tiny_scaled_dataset):
+        model = QuBatchVQC(_vqc_config("layer", n_batch_qubits=1), rng=0)
+        result = QuantumTrainer(_training_config(epochs=4)).train(
+            model, tiny_scaled_dataset, tiny_scaled_dataset)
+        losses = result.history("train_loss")
+        assert losses[-1] <= losses[0]
+
+    def test_deterministic_given_seed(self, tiny_scaled_dataset):
+        results = []
+        for _ in range(2):
+            model = QuGeoVQC(_vqc_config("layer"), rng=0)
+            result = QuantumTrainer(_training_config(epochs=3)).train(
+                model, tiny_scaled_dataset, tiny_scaled_dataset)
+            results.append(result.final_metrics["test_mse"])
+        assert results[0] == pytest.approx(results[1])
+
+
+class TestClassicalTrainer:
+    def test_training_reduces_loss(self, tiny_scaled_dataset):
+        model = build_cnn_ly(64, (6, 6), rng=0)
+        config = TrainingConfig(epochs=15, learning_rate=0.01, batch_size=3,
+                                eval_every=5, seed=0)
+        result = ClassicalTrainer(config).train(model, tiny_scaled_dataset,
+                                                tiny_scaled_dataset)
+        losses = result.history("train_loss")
+        assert losses[-1] < losses[0]
+
+    def test_pixel_variant(self, tiny_scaled_dataset):
+        model = build_cnn_px(64, (6, 6), rng=0)
+        config = TrainingConfig(epochs=5, learning_rate=0.01, batch_size=3,
+                                eval_every=5, seed=0)
+        result = ClassicalTrainer(config).train(model, tiny_scaled_dataset,
+                                                tiny_scaled_dataset)
+        assert np.isfinite(result.final_metrics["test_mse"])
+
+
+class TestEvaluateModel:
+    def test_quantum_and_classical_interfaces(self, tiny_scaled_dataset):
+        quantum = QuGeoVQC(_vqc_config("layer"), rng=0)
+        classical = build_cnn_ly(64, (6, 6), rng=0)
+        for model in (quantum, classical):
+            metrics = evaluate_model(model, tiny_scaled_dataset)
+            assert set(metrics) == {"ssim", "mse"}
+            assert metrics["mse"] >= 0.0
+
+    def test_qubatch_interface(self, tiny_scaled_dataset):
+        model = QuBatchVQC(_vqc_config("layer", n_batch_qubits=1), rng=0)
+        metrics = evaluate_model(model, tiny_scaled_dataset)
+        assert np.isfinite(metrics["mse"])
+
+
+class TestExperimentHelpers:
+    def test_experiment_result_metric_access(self):
+        result = ExperimentResult(model="Q-M-LY", dataset="Q-D-FW",
+                                  metrics={"ssim": 0.9})
+        assert result.metric("ssim") == pytest.approx(0.9)
+        assert np.isnan(result.metric("missing"))
+
+    def test_results_table_rendering(self):
+        rows = [ExperimentResult("Q-M-LY", "Q-D-FW", {"ssim": 0.9, "mse": 3e-4}),
+                ExperimentResult("CNN-PX", "D-Sample", {"ssim": 0.8, "mse": 8e-4})]
+        table = results_table(rows, title="Table 2")
+        assert "Q-M-LY" in table and "CNN-PX" in table
+        assert "Table 2" in table
+
+    def test_vertical_profile(self):
+        velocity_map = np.arange(16.0).reshape(4, 4)
+        profile = vertical_profile(velocity_map, column=1)
+        np.testing.assert_allclose(profile, [1.0, 5.0, 9.0, 13.0])
+        default = vertical_profile(velocity_map)
+        np.testing.assert_allclose(default, velocity_map[:, 2])
+
+    def test_vertical_profile_validation(self):
+        with pytest.raises(ValueError):
+            vertical_profile(np.zeros((4, 4)), column=10)
+        with pytest.raises(ValueError):
+            vertical_profile(np.zeros(4))
+
+    def test_count_interface_matches_perfect(self):
+        truth = np.array([0.2, 0.2, 0.6, 0.6, 0.9])
+        matched, total = count_interface_matches(truth, truth)
+        assert total == 2
+        assert matched == 2
+
+    def test_count_interface_matches_missed(self):
+        truth = np.array([0.2, 0.2, 0.6, 0.6, 0.9])
+        flat = np.full(5, 0.5)
+        matched, total = count_interface_matches(flat, truth)
+        assert total == 2
+        assert matched == 0
+
+    def test_count_interface_matches_validation(self):
+        with pytest.raises(ValueError):
+            count_interface_matches(np.zeros(3), np.zeros(4))
+
+
+class TestQuGeoFramework:
+    @pytest.fixture(scope="class")
+    def framework_config(self):
+        data = QuGeoDataConfig(scaled_seismic_shape=(1, 8, 8),
+                               scaled_velocity_shape=(6, 6))
+        vqc = QuGeoVQCConfig(n_groups=1, qubits_per_group=6, n_blocks=2,
+                             decoder="layer", output_shape=(6, 6))
+        training = TrainingConfig(epochs=4, learning_rate=0.1, batch_size=3,
+                                  eval_every=2, seed=0)
+        return QuGeoConfig(data=data, vqc=vqc, training=training,
+                           scaling_method="forward_modeling")
+
+    def test_fit_and_predict(self, framework_config, tiny_dataset):
+        train, test = train_test_split(tiny_dataset, train_size=4, rng=0)
+        pipeline = QuGeo(framework_config, rng=0)
+        result = pipeline.fit(train, test)
+        assert isinstance(result, TrainingResult)
+        prediction = pipeline.predict(test[0])
+        assert prediction.shape == framework_config.data.scaled_velocity_shape
+        assert prediction.min() >= 1000.0  # physical units after denormalisation
+        normalized = pipeline.predict(test[0], denormalize=False)
+        assert normalized.max() <= 1.5
+
+    def test_predict_before_fit_raises(self, framework_config, tiny_dataset):
+        pipeline = QuGeo(framework_config, rng=0)
+        with pytest.raises(RuntimeError):
+            pipeline.predict(tiny_dataset[0])
+
+    def test_summary_contents(self, framework_config, tiny_dataset):
+        train, test = train_test_split(tiny_dataset, train_size=4, rng=0)
+        pipeline = QuGeo(framework_config, rng=0)
+        pipeline.fit(train, test)
+        summary = pipeline.summary()
+        assert summary["scaling_method"] == "Q-D-FW"
+        assert summary["decoder"] == "Q-M-LY"
+        assert summary["total_qubits"] <= 16
+        assert "test_ssim" in summary
+
+    def test_d_sample_pipeline(self, tiny_dataset):
+        data = QuGeoDataConfig(scaled_seismic_shape=(1, 8, 8),
+                               scaled_velocity_shape=(6, 6))
+        vqc = QuGeoVQCConfig(n_groups=1, qubits_per_group=6, n_blocks=1,
+                             decoder="layer", output_shape=(6, 6))
+        training = TrainingConfig(epochs=2, learning_rate=0.1, batch_size=3,
+                                  eval_every=2, seed=0)
+        config = QuGeoConfig(data=data, vqc=vqc, training=training,
+                             scaling_method="d_sample")
+        pipeline = QuGeo(config, rng=0)
+        pipeline.fit(tiny_dataset[:4], tiny_dataset[4:])
+        assert pipeline.summary()["scaling_method"] == "D-Sample"
+
+    def test_cnn_scaling_requires_compressor_data(self, tiny_dataset):
+        data = QuGeoDataConfig(scaled_seismic_shape=(1, 8, 8),
+                               scaled_velocity_shape=(6, 6))
+        vqc = QuGeoVQCConfig(n_groups=1, qubits_per_group=6, n_blocks=1,
+                             decoder="layer", output_shape=(6, 6))
+        config = QuGeoConfig(data=data, vqc=vqc,
+                             training=TrainingConfig(epochs=1),
+                             scaling_method="cnn")
+        pipeline = QuGeo(config, rng=0)
+        with pytest.raises(ValueError):
+            pipeline.build_scaler()
+
+    def test_qubatch_pipeline(self, tiny_dataset):
+        data = QuGeoDataConfig(scaled_seismic_shape=(1, 8, 8),
+                               scaled_velocity_shape=(6, 6))
+        vqc = QuGeoVQCConfig(n_groups=1, qubits_per_group=6, n_blocks=1,
+                             decoder="layer", output_shape=(6, 6),
+                             n_batch_qubits=1)
+        training = TrainingConfig(epochs=2, learning_rate=0.1, batch_size=2,
+                                  eval_every=2, seed=0)
+        config = QuGeoConfig(data=data, vqc=vqc, training=training)
+        pipeline = QuGeo(config, rng=0)
+        pipeline.fit(tiny_dataset[:4], tiny_dataset[4:])
+        assert isinstance(pipeline.model, QuBatchVQC)

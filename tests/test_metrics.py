@@ -1,0 +1,151 @@
+"""Tests for repro.metrics (SSIM and error metrics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import mae, mse, psnr, relative_improvement, rmse, ssim, ssim_map
+
+
+def _random_image(seed, shape=(16, 16)):
+    return np.random.default_rng(seed).random(shape)
+
+
+class TestMSE:
+    def test_zero_for_identical(self):
+        image = _random_image(0)
+        assert mse(image, image) == 0.0
+
+    def test_known_value(self):
+        assert mse([1.0, 2.0], [0.0, 0.0]) == pytest.approx(2.5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_symmetric(self):
+        a, b = _random_image(1), _random_image(2)
+        assert mse(a, b) == pytest.approx(mse(b, a))
+
+
+class TestMAEAndRMSE:
+    def test_mae_known_value(self):
+        assert mae([1.0, -1.0], [0.0, 0.0]) == pytest.approx(1.0)
+
+    def test_rmse_is_sqrt_mse(self):
+        a, b = _random_image(3), _random_image(4)
+        assert rmse(a, b) == pytest.approx(np.sqrt(mse(a, b)))
+
+    def test_mae_lower_or_equal_rmse(self):
+        a, b = _random_image(5), _random_image(6)
+        assert mae(a, b) <= rmse(a, b) + 1e-12
+
+
+class TestPSNR:
+    def test_identical_is_infinite(self):
+        image = _random_image(7)
+        assert psnr(image, image) == float("inf")
+
+    def test_larger_error_lower_psnr(self):
+        target = _random_image(8)
+        small = target + 0.01
+        large = target + 0.1
+        assert psnr(small, target, data_range=1.0) > psnr(large, target, data_range=1.0)
+
+    def test_invalid_data_range(self):
+        with pytest.raises(ValueError):
+            psnr(np.ones((4, 4)), np.ones((4, 4)), data_range=0.0)
+
+
+class TestRelativeImprovement:
+    def test_positive_when_error_drops(self):
+        assert relative_improvement(0.001, 0.0005) == pytest.approx(0.5)
+
+    def test_negative_when_error_grows(self):
+        assert relative_improvement(0.001, 0.002) == pytest.approx(-1.0)
+
+    def test_zero_baseline_raises(self):
+        with pytest.raises(ValueError):
+            relative_improvement(0.0, 1.0)
+
+
+class TestSSIM:
+    def test_identical_images_score_one(self):
+        image = _random_image(9)
+        assert ssim(image, image) == pytest.approx(1.0)
+
+    def test_range_bounded(self):
+        a, b = _random_image(10), _random_image(11)
+        value = ssim(a, b, data_range=1.0)
+        assert -1.0 <= value <= 1.0
+
+    def test_noise_lowers_ssim(self):
+        image = _random_image(12)
+        noisy = image + 0.5 * _random_image(13)
+        assert ssim(noisy, image, data_range=1.0) < 0.99
+
+    def test_more_noise_scores_lower(self):
+        image = _random_image(14)
+        rng = np.random.default_rng(15)
+        noise = rng.normal(size=image.shape)
+        slight = image + 0.05 * noise
+        heavy = image + 0.5 * noise
+        assert ssim(slight, image, data_range=1.0) > ssim(heavy, image, data_range=1.0)
+
+    def test_small_images_supported(self):
+        """8x8 velocity maps (the paper's output size) must work."""
+        image = _random_image(16, shape=(8, 8))
+        assert ssim(image, image) == pytest.approx(1.0)
+
+    def test_uniform_window_variant(self):
+        a, b = _random_image(17), _random_image(18)
+        value = ssim(a, b, gaussian=False, data_range=1.0)
+        assert -1.0 <= value <= 1.0
+
+    def test_constant_reference_uses_unit_range(self):
+        constant = np.full((8, 8), 0.5)
+        assert ssim(constant, constant) == pytest.approx(1.0)
+
+    def test_map_shape_matches_input(self):
+        a, b = _random_image(19), _random_image(20)
+        assert ssim_map(a, b).shape == a.shape
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((4, 4)), np.zeros((5, 5)))
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros(16), np.zeros(16))
+
+    def test_shifted_structure_scores_below_identical(self):
+        image = np.zeros((16, 16))
+        image[4:8, :] = 1.0
+        shifted = np.roll(image, 4, axis=0)
+        assert ssim(shifted, image, data_range=1.0) < 0.95
+
+
+class TestSSIMProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_self_similarity_is_one(self, seed):
+        image = np.random.default_rng(seed).random((12, 12))
+        assert ssim(image, image) == pytest.approx(1.0, abs=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), scale=st.floats(0.05, 0.5))
+    def test_symmetry(self, seed, scale):
+        rng = np.random.default_rng(seed)
+        a = rng.random((10, 10))
+        b = a + scale * rng.normal(size=a.shape)
+        forward = ssim(a, b, data_range=1.0)
+        backward = ssim(b, a, data_range=1.0)
+        assert forward == pytest.approx(backward, abs=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_mse_non_negative(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.random((6, 6)), rng.random((6, 6))
+        assert mse(a, b) >= 0.0

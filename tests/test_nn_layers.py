@@ -1,0 +1,244 @@
+"""Tests for repro.nn layers, losses, functional ops."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    Conv2d,
+    Flatten,
+    L1Loss,
+    Linear,
+    MaxPool2d,
+    MSELoss,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+)
+from repro.nn import functional as F
+
+
+def numerical_gradient(fn, array, epsilon=1e-6):
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        plus = fn()
+        flat[i] = original - epsilon
+        minus = fn()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * epsilon)
+    return grad
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 3, rng=0)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_1d_input_promoted_to_batch(self):
+        layer = Linear(4, 3, rng=0)
+        assert layer(Tensor(np.ones(4))).shape == (1, 3)
+
+    def test_parameter_count(self):
+        assert Linear(4, 3, rng=0).weight.size + Linear(4, 3, rng=0).bias.size == 15
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients_match_numerical(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(3, 2, rng=0)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+        loss_fn = MSELoss()
+
+        def value():
+            out = x @ layer.weight.data.T + layer.bias.data
+            return float(np.mean((out - target) ** 2))
+
+        loss = loss_fn(layer(Tensor(x)), target)
+        loss.backward()
+        np.testing.assert_allclose(layer.weight.grad,
+                                   numerical_gradient(value, layer.weight.data),
+                                   atol=1e-6)
+        np.testing.assert_allclose(layer.bias.grad,
+                                   numerical_gradient(value, layer.bias.data),
+                                   atol=1e-6)
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+
+class TestConv2d:
+    def test_output_shape_no_padding(self):
+        conv = Conv2d(1, 2, 3, rng=0)
+        out = conv(Tensor(np.ones((2, 1, 8, 8))))
+        assert out.shape == (2, 2, 6, 6)
+
+    def test_output_shape_with_padding(self):
+        conv = Conv2d(1, 2, 3, padding=1, rng=0)
+        out = conv(Tensor(np.ones((2, 1, 8, 8))))
+        assert out.shape == (2, 2, 8, 8)
+
+    def test_stride(self):
+        conv = Conv2d(1, 1, 3, stride=2, rng=0)
+        out = conv(Tensor(np.ones((1, 1, 9, 9))))
+        assert out.shape == (1, 1, 4, 4)
+
+    def test_matches_manual_convolution(self):
+        conv = Conv2d(1, 1, 2, bias=False, rng=0)
+        conv.weight.data = np.array([[[[1.0, 0.0], [0.0, -1.0]]]])
+        image = np.arange(9.0).reshape(1, 1, 3, 3)
+        out = conv(Tensor(image)).numpy()
+        expected = image[0, 0, :2, :2] - image[0, 0, 1:, 1:]
+        np.testing.assert_allclose(out[0, 0], expected)
+
+    def test_channel_mismatch_raises(self):
+        conv = Conv2d(2, 1, 3, rng=0)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.ones((1, 1, 5, 5))))
+
+    def test_gradients_match_numerical(self):
+        rng = np.random.default_rng(1)
+        conv = Conv2d(2, 2, 3, padding=1, rng=0)
+        x = rng.normal(size=(2, 2, 5, 5))
+        target = rng.normal(size=(2, 2, 5, 5))
+        loss_fn = MSELoss()
+
+        def value():
+            out = F.conv2d(Tensor(x), Tensor(conv.weight.data),
+                           Tensor(conv.bias.data), padding=1).numpy()
+            return float(np.mean((out - target) ** 2))
+
+        loss = loss_fn(conv(Tensor(x)), target)
+        loss.backward()
+        np.testing.assert_allclose(conv.weight.grad,
+                                   numerical_gradient(value, conv.weight.data),
+                                   atol=1e-5)
+        np.testing.assert_allclose(conv.bias.grad,
+                                   numerical_gradient(value, conv.bias.data),
+                                   atol=1e-5)
+
+    def test_input_gradient(self):
+        rng = np.random.default_rng(2)
+        conv = Conv2d(1, 1, 3, rng=0)
+        x_data = rng.normal(size=(1, 1, 5, 5))
+        x = Tensor(x_data, requires_grad=True)
+        conv(x).sum().backward()
+
+        def value():
+            out = F.conv2d(Tensor(x_data), Tensor(conv.weight.data),
+                           Tensor(conv.bias.data)).numpy()
+            return float(out.sum())
+
+        np.testing.assert_allclose(x.grad, numerical_gradient(value, x_data),
+                                   atol=1e-5)
+
+
+class TestPooling:
+    def test_avg_pool_value(self):
+        image = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = AvgPool2d(2)(Tensor(image)).numpy()
+        assert out.shape == (1, 1, 2, 2)
+        assert out[0, 0, 0, 0] == pytest.approx(np.mean([0, 1, 4, 5]))
+
+    def test_max_pool_value(self):
+        image = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = MaxPool2d(2)(Tensor(image)).numpy()
+        assert out[0, 0, 1, 1] == 15.0
+
+    def test_avg_pool_gradient_uniform(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        AvgPool2d(2)(x).sum().backward()
+        np.testing.assert_allclose(x.grad, 0.25 * np.ones((1, 1, 4, 4)))
+
+    def test_max_pool_gradient_routes_to_argmax(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        MaxPool2d(2)(x).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        np.testing.assert_allclose(x.grad[0, 0], expected)
+
+
+class TestActivationsAndContainer:
+    def test_relu_module(self):
+        out = ReLU()(Tensor([-1.0, 1.0])).numpy()
+        np.testing.assert_allclose(out, [0.0, 1.0])
+
+    def test_sigmoid_range(self):
+        out = Sigmoid()(Tensor([-10.0, 0.0, 10.0])).numpy()
+        assert np.all(out > 0) and np.all(out < 1)
+
+    def test_tanh_range(self):
+        out = Tanh()(Tensor([-10.0, 10.0])).numpy()
+        assert np.all(np.abs(out) < 1)
+
+    def test_flatten(self):
+        out = Flatten()(Tensor(np.ones((2, 3, 4))))
+        assert out.shape == (2, 12)
+
+    def test_sequential_composition(self):
+        model = Sequential(Linear(4, 8, rng=0), ReLU(), Linear(8, 2, rng=1))
+        assert model(Tensor(np.ones((3, 4)))).shape == (3, 2)
+
+    def test_sequential_len_and_getitem(self):
+        model = Sequential(ReLU(), Flatten())
+        assert len(model) == 2
+        assert isinstance(model[0], ReLU)
+
+
+class TestModuleParameters:
+    def test_named_parameters_nested(self):
+        model = Sequential(Linear(2, 3, rng=0), ReLU(), Linear(3, 1, rng=1))
+        names = [name for name, _ in model.named_parameters()]
+        assert any("layers.0.weight" in name for name in names)
+        assert any("layers.2.bias" in name for name in names)
+
+    def test_num_parameters(self):
+        model = Sequential(Linear(2, 3, rng=0))
+        assert model.num_parameters() == 2 * 3 + 3
+
+    def test_zero_grad(self):
+        model = Sequential(Linear(2, 2, rng=0))
+        loss = MSELoss()(model(Tensor(np.ones((1, 2)))), np.zeros((1, 2)))
+        loss.backward()
+        assert model.parameters()[0].grad is not None
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_state_dict_roundtrip(self):
+        model = Sequential(Linear(2, 2, rng=0))
+        state = model.state_dict()
+        other = Sequential(Linear(2, 2, rng=99))
+        other.load_state_dict(state)
+        for (_, a), (_, b) in zip(model.named_parameters(), other.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_load_state_dict_rejects_mismatch(self):
+        model = Sequential(Linear(2, 2, rng=0))
+        with pytest.raises(KeyError):
+            model.load_state_dict({"bogus": np.zeros(1)})
+
+
+class TestLosses:
+    def test_mse_value(self):
+        loss = MSELoss()(Tensor([[1.0, 2.0]]), [[0.0, 0.0]])
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_l1_value(self):
+        loss = L1Loss()(Tensor([[1.0, -2.0]]), [[0.0, 0.0]])
+        assert loss.item() == pytest.approx(1.5)
+
+    def test_mse_zero_for_match(self):
+        pred = Tensor(np.ones((2, 2)))
+        assert MSELoss()(pred, np.ones((2, 2))).item() == 0.0

@@ -1,0 +1,135 @@
+"""Tests for optimisers and learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, CosineAnnealingLR, Linear, MSELoss, SGD, Sequential, Tensor
+from repro.nn.scheduler import StepLR
+
+
+def _quadratic_problem(seed=0):
+    """A tiny least-squares problem: minimise ||Xw - y||^2 over w."""
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(16, 3))
+    true_w = np.array([1.0, -2.0, 0.5])
+    targets = features @ true_w
+    return features, targets
+
+
+class TestSGD:
+    def test_loss_decreases(self):
+        features, targets = _quadratic_problem()
+        w = Tensor(np.zeros(3), requires_grad=True)
+        optimizer = SGD([w], lr=0.05)
+        losses = []
+        for _ in range(100):
+            optimizer.zero_grad()
+            residual = Tensor(features) @ w - Tensor(targets)
+            loss = (residual * residual).mean()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < 0.05 * losses[0]
+
+    def test_momentum_converges(self):
+        features, targets = _quadratic_problem(1)
+        w = Tensor(np.zeros(3), requires_grad=True)
+        optimizer = SGD([w], lr=0.02, momentum=0.9)
+        for _ in range(150):
+            optimizer.zero_grad()
+            residual = Tensor(features) @ w - Tensor(targets)
+            (residual * residual).mean().backward()
+            optimizer.step()
+        np.testing.assert_allclose(w.data, [1.0, -2.0, 0.5], atol=0.05)
+
+    def test_skips_parameters_without_grad(self):
+        w = Tensor(np.ones(2), requires_grad=True)
+        optimizer = SGD([w], lr=0.1)
+        optimizer.step()  # no gradient accumulated
+        np.testing.assert_array_equal(w.data, np.ones(2))
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor([1.0], requires_grad=True)], lr=0.0)
+
+    def test_empty_parameters_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_recovers_linear_weights(self):
+        features, targets = _quadratic_problem(2)
+        w = Tensor(np.zeros(3), requires_grad=True)
+        optimizer = Adam([w], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            residual = Tensor(features) @ w - Tensor(targets)
+            (residual * residual).mean().backward()
+            optimizer.step()
+        np.testing.assert_allclose(w.data, [1.0, -2.0, 0.5], atol=0.02)
+
+    def test_trains_small_network(self):
+        rng = np.random.default_rng(3)
+        inputs = rng.normal(size=(20, 4))
+        targets = rng.normal(size=(20, 2))
+        model = Sequential(Linear(4, 8, rng=0), Linear(8, 2, rng=1))
+        optimizer = Adam(model.parameters(), lr=0.05)
+        loss_fn = MSELoss()
+        first = None
+        for step in range(80):
+            optimizer.zero_grad()
+            loss = loss_fn(model(Tensor(inputs)), targets)
+            loss.backward()
+            optimizer.step()
+            if step == 0:
+                first = loss.item()
+        assert loss.item() < first
+
+    def test_weight_decay_shrinks_weights(self):
+        w = Tensor(np.ones(4) * 10.0, requires_grad=True)
+        optimizer = Adam([w], lr=0.1, weight_decay=0.5)
+        for _ in range(50):
+            optimizer.zero_grad()
+            (w * 0.0).sum().backward()  # zero data gradient, only decay acts
+            optimizer.step()
+        assert np.all(np.abs(w.data) < 10.0)
+
+    def test_invalid_betas_raise(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor([1.0], requires_grad=True)], lr=0.1, betas=(1.5, 0.9))
+
+
+class TestSchedulers:
+    def test_cosine_start_and_end(self):
+        w = Tensor([0.0], requires_grad=True)
+        optimizer = Adam([w], lr=0.1)
+        scheduler = CosineAnnealingLR(optimizer, t_max=10, eta_min=0.001)
+        lrs = [scheduler.step() for _ in range(10)]
+        assert lrs[0] < 0.1  # decays immediately after first epoch
+        assert lrs[-1] == pytest.approx(0.001, abs=1e-9)
+
+    def test_cosine_monotonically_decreasing(self):
+        optimizer = Adam([Tensor([0.0], requires_grad=True)], lr=0.1)
+        scheduler = CosineAnnealingLR(optimizer, t_max=20)
+        lrs = [scheduler.step() for _ in range(20)]
+        assert all(a >= b - 1e-12 for a, b in zip(lrs, lrs[1:]))
+
+    def test_cosine_updates_optimizer(self):
+        optimizer = Adam([Tensor([0.0], requires_grad=True)], lr=0.1)
+        scheduler = CosineAnnealingLR(optimizer, t_max=4)
+        scheduler.step()
+        assert optimizer.lr < 0.1
+
+    def test_cosine_invalid_tmax(self):
+        optimizer = Adam([Tensor([0.0], requires_grad=True)], lr=0.1)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(optimizer, t_max=0)
+
+    def test_step_lr(self):
+        optimizer = SGD([Tensor([0.0], requires_grad=True)], lr=1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        lrs = [scheduler.step() for _ in range(4)]
+        assert lrs[0] == pytest.approx(1.0)
+        assert lrs[1] == pytest.approx(0.1)
+        assert lrs[3] == pytest.approx(0.01)

@@ -1,0 +1,251 @@
+"""Tests for amplitude/ST/QuBatch encoders and circuit differentiation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum import (
+    QuBatchEncoder,
+    STEncoder,
+    amplitude_encode,
+    circuit_gradients,
+    marginal_probabilities,
+    parameter_shift_gradients,
+    u3_cu3_ansatz,
+    z_expectations,
+)
+from repro.quantum.autodiff import finite_difference_gradients
+from repro.quantum.encoding import normalize_for_encoding
+from repro.quantum.measurement import (
+    marginal_probabilities_backward,
+    z_expectations_backward,
+)
+
+
+class TestAmplitudeEncode:
+    def test_normalised_output(self):
+        state = amplitude_encode(np.arange(1, 9, dtype=float), 3)
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+    def test_preserves_relative_values(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0])
+        state = amplitude_encode(data, 2)
+        np.testing.assert_allclose(np.real(state), data / np.linalg.norm(data))
+
+    def test_zero_padding(self):
+        state = amplitude_encode(np.array([1.0, 1.0, 1.0]), 2)
+        assert state.size == 4
+        assert state[3] == 0.0
+
+    def test_infers_qubit_count(self):
+        assert amplitude_encode(np.ones(5)).size == 8
+
+    def test_too_much_data_raises(self):
+        with pytest.raises(ValueError):
+            amplitude_encode(np.ones(9), 3)
+
+    def test_zero_vector_maps_to_ground_state(self):
+        state = amplitude_encode(np.zeros(4), 2)
+        np.testing.assert_allclose(state, [1, 0, 0, 0])
+
+    def test_normalize_for_encoding_returns_norm(self):
+        normalised, norm = normalize_for_encoding(np.array([3.0, 4.0]))
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(normalised, [0.6, 0.8])
+
+
+class TestSTEncoder:
+    def test_capacity_and_qubits(self):
+        encoder = STEncoder(n_groups=2, qubits_per_group=3)
+        assert encoder.capacity == 16
+        assert encoder.n_qubits == 6
+
+    def test_group_qubits(self):
+        encoder = STEncoder(n_groups=2, qubits_per_group=3)
+        assert encoder.group_qubits(0) == (0, 1, 2)
+        assert encoder.group_qubits(1) == (3, 4, 5)
+
+    def test_single_group_matches_amplitude_encoding(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=8)
+        encoder = STEncoder(n_groups=1, qubits_per_group=3)
+        np.testing.assert_allclose(encoder.encode(data), amplitude_encode(data, 3))
+
+    def test_multi_group_state_is_product(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=8)
+        encoder = STEncoder(n_groups=2, qubits_per_group=2)
+        state = encoder.encode(data)
+        expected = np.kron(amplitude_encode(data[:4], 2), amplitude_encode(data[4:], 2))
+        np.testing.assert_allclose(state, expected)
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+    def test_normalized_view_per_group(self):
+        data = np.array([3.0, 4.0, 6.0, 8.0])
+        encoder = STEncoder(n_groups=2, qubits_per_group=1)
+        view = encoder.normalized_view(data)
+        np.testing.assert_allclose(view, [0.6, 0.8, 0.6, 0.8])
+
+    def test_capacity_exceeded_raises(self):
+        encoder = STEncoder(n_groups=1, qubits_per_group=2)
+        with pytest.raises(ValueError):
+            encoder.encode(np.ones(5))
+
+    def test_invalid_group_index(self):
+        with pytest.raises(ValueError):
+            STEncoder(n_groups=1, qubits_per_group=2).group_qubits(1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), groups=st.integers(1, 3))
+    def test_encoded_state_always_normalised(self, seed, groups):
+        rng = np.random.default_rng(seed)
+        encoder = STEncoder(n_groups=groups, qubits_per_group=2)
+        data = rng.normal(size=encoder.capacity)
+        assert np.linalg.norm(encoder.encode(data)) == pytest.approx(1.0)
+
+
+class TestQuBatchEncoder:
+    def test_qubit_accounting(self):
+        encoder = QuBatchEncoder(STEncoder(1, 3), n_batch_qubits=2)
+        assert encoder.batch_size == 4
+        assert encoder.n_qubits == 5
+        assert encoder.batch_qubits_of_group(0) == (0, 1)
+        assert encoder.data_qubits_of_group(0) == (2, 3, 4)
+
+    def test_blocks_hold_each_sample(self):
+        rng = np.random.default_rng(2)
+        samples = [rng.normal(size=4), rng.normal(size=4)]
+        encoder = QuBatchEncoder(STEncoder(1, 2), n_batch_qubits=1)
+        state = encoder.encode(samples)
+        stacked = np.concatenate(samples)
+        expected = stacked / np.linalg.norm(stacked)
+        np.testing.assert_allclose(np.real(state), expected)
+
+    def test_relative_structure_preserved_within_block(self):
+        """QuBatch lowers precision but keeps relative relationships (paper 3.3.3)."""
+        rng = np.random.default_rng(3)
+        samples = [rng.normal(size=4), 10 * rng.normal(size=4)]
+        encoder = QuBatchEncoder(STEncoder(1, 2), n_batch_qubits=1)
+        state = np.real(encoder.encode(samples))
+        block0 = state[:4]
+        ratio = block0 / np.linalg.norm(block0)
+        np.testing.assert_allclose(ratio, samples[0] / np.linalg.norm(samples[0]),
+                                   atol=1e-12)
+
+    def test_partial_batch_zero_blocks(self):
+        encoder = QuBatchEncoder(STEncoder(1, 2), n_batch_qubits=1)
+        state = encoder.encode([np.ones(4)])
+        np.testing.assert_allclose(state[4:], 0.0)
+
+    def test_over_capacity_raises(self):
+        encoder = QuBatchEncoder(STEncoder(1, 2), n_batch_qubits=0)
+        with pytest.raises(ValueError):
+            encoder.encode([np.ones(4), np.ones(4)])
+
+    def test_negative_batch_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            QuBatchEncoder(STEncoder(1, 2), n_batch_qubits=-1)
+
+
+def _expectation_loss_head(n_qubits, target):
+    def loss_head(psi):
+        z = z_expectations(psi, range(n_qubits), n_qubits)
+        diff = (z + 1.0) / 2.0 - target
+        loss = float(np.mean(diff**2))
+        grad = diff * (2.0 / diff.size) * 0.5
+        return loss, z_expectations_backward(psi, range(n_qubits), n_qubits, grad)
+    return loss_head
+
+
+def _probability_loss_head(n_qubits, qubits, target):
+    def loss_head(psi):
+        probs = marginal_probabilities(psi, qubits, n_qubits)
+        diff = probs - target
+        loss = float(np.sum(diff**2))
+        return loss, marginal_probabilities_backward(psi, qubits, n_qubits, 2 * diff)
+    return loss_head
+
+
+class TestCircuitGradients:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_adjoint_matches_finite_difference_expectation_loss(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 3
+        circuit = u3_cu3_ansatz(n, n_blocks=2)
+        params = rng.normal(size=circuit.n_params)
+        state = amplitude_encode(rng.normal(size=2**n), n)
+        loss_head = _expectation_loss_head(n, rng.random(n))
+        loss_a, grad_a = circuit_gradients(circuit, params, state, loss_head)
+        loss_f, grad_f = finite_difference_gradients(circuit, params, state, loss_head)
+        assert loss_a == pytest.approx(loss_f)
+        np.testing.assert_allclose(grad_a, grad_f, atol=1e-6)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_adjoint_matches_finite_difference_probability_loss(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 3
+        circuit = u3_cu3_ansatz(n, n_blocks=2)
+        params = rng.normal(size=circuit.n_params)
+        state = amplitude_encode(rng.normal(size=2**n), n)
+        loss_head = _probability_loss_head(n, (0, 1), rng.random(4))
+        _, grad_a = circuit_gradients(circuit, params, state, loss_head)
+        _, grad_f = finite_difference_gradients(circuit, params, state, loss_head)
+        np.testing.assert_allclose(grad_a, grad_f, atol=1e-6)
+
+    def test_gradient_length_matches_parameters(self):
+        circuit = u3_cu3_ansatz(3, n_blocks=1)
+        params = np.zeros(circuit.n_params)
+        state = amplitude_encode(np.ones(8), 3)
+        _, grads = circuit_gradients(circuit, params, state,
+                                     _expectation_loss_head(3, np.full(3, 0.5)))
+        assert grads.shape == (circuit.n_params,)
+
+    def test_zero_gradient_at_perfect_fit(self):
+        n = 2
+        circuit = u3_cu3_ansatz(n, n_blocks=1)
+        params = np.zeros(circuit.n_params)
+        state = amplitude_encode(np.array([1.0, 0, 0, 0]), n)
+        # With identity circuit the state stays |00>, z = (1, 1), pred = (1, 1).
+        loss_head = _expectation_loss_head(n, np.ones(n))
+        loss, grads = circuit_gradients(circuit, params, state, loss_head)
+        assert loss == pytest.approx(0.0, abs=1e-12)
+        np.testing.assert_allclose(grads, 0.0, atol=1e-9)
+
+    def test_parameter_shift_for_rotation_gates(self):
+        """The two-term shift rule is exact for RX/RY/RZ circuits when the
+        cost is linear in the measured expectation values."""
+        from repro.quantum.circuit import ParameterizedCircuit
+
+        rng = np.random.default_rng(3)
+        n = 2
+        circuit = ParameterizedCircuit(n)
+        circuit.add_parametric_gate("RY", (0,))
+        circuit.add_parametric_gate("RX", (1,))
+        circuit.add_gate("CNOT", (0, 1))
+        circuit.add_parametric_gate("RZ", (0,))
+        params = rng.normal(size=circuit.n_params)
+        state = amplitude_encode(rng.normal(size=4), n)
+        weights = rng.normal(size=n)
+
+        def linear_loss_head(psi):
+            z = z_expectations(psi, range(n), n)
+            loss = float(np.dot(weights, z))
+            return loss, z_expectations_backward(psi, range(n), n, weights)
+
+        _, grad_shift = parameter_shift_gradients(circuit, params, state,
+                                                  linear_loss_head)
+        _, grad_adj = circuit_gradients(circuit, params, state, linear_loss_head)
+        np.testing.assert_allclose(grad_shift, grad_adj, atol=1e-8)
+
+    def test_loss_head_wrong_gradient_length_raises(self):
+        circuit = u3_cu3_ansatz(2, n_blocks=1)
+        state = amplitude_encode(np.ones(4), 2)
+
+        def bad_head(psi):
+            return 0.0, np.zeros(2)
+
+        with pytest.raises(ValueError):
+            circuit_gradients(circuit, np.zeros(circuit.n_params), state, bad_head)

@@ -1,0 +1,184 @@
+"""Tests for repro.quantum.gates and repro.quantum.parametric."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.gates import GATES, apply_matrix, is_unitary
+from repro.quantum.parametric import (
+    PARAMETRIC_GATES,
+    cu3_matrix,
+    rx_matrix,
+    ry_matrix,
+    rz_matrix,
+    u3_matrix,
+)
+
+
+def _random_state(n_qubits, seed=0):
+    rng = np.random.default_rng(seed)
+    state = rng.normal(size=2**n_qubits) + 1j * rng.normal(size=2**n_qubits)
+    return state / np.linalg.norm(state)
+
+
+def _embed_gate(matrix, targets, n_qubits):
+    """Build the full 2^n x 2^n matrix of a gate on ``targets`` (reference)."""
+    dim = 2**n_qubits
+    k = len(targets)
+    full = np.zeros((dim, dim), dtype=complex)
+    for column in range(dim):
+        bits = [(column >> (n_qubits - 1 - q)) & 1 for q in range(n_qubits)]
+        gate_in = 0
+        for position, qubit in enumerate(targets):
+            gate_in |= bits[qubit] << (k - 1 - position)
+        for gate_out in range(2**k):
+            new_bits = list(bits)
+            for position, qubit in enumerate(targets):
+                new_bits[qubit] = (gate_out >> (k - 1 - position)) & 1
+            row = sum(bit << (n_qubits - 1 - q) for q, bit in enumerate(new_bits))
+            full[row, column] += matrix[gate_out, gate_in]
+    return full
+
+
+class TestFixedGates:
+    def test_all_registered_gates_are_unitary(self):
+        for name, matrix in GATES.items():
+            assert is_unitary(matrix), name
+
+    def test_is_unitary_rejects_non_square(self):
+        assert not is_unitary(np.ones((2, 3)))
+
+    def test_is_unitary_rejects_non_unitary(self):
+        assert not is_unitary(np.array([[1.0, 1.0], [0.0, 1.0]]))
+
+    def test_hadamard_creates_superposition(self):
+        state = np.array([1.0, 0.0], dtype=complex)
+        out = apply_matrix(state, GATES["H"], (0,), 1)
+        np.testing.assert_allclose(np.abs(out) ** 2, [0.5, 0.5])
+
+    def test_x_flips_basis_state(self):
+        state = np.array([1.0, 0.0], dtype=complex)
+        out = apply_matrix(state, GATES["X"], (0,), 1)
+        np.testing.assert_allclose(out, [0.0, 1.0])
+
+    def test_cnot_entangles(self):
+        # H on control then CNOT gives a Bell state.
+        state = np.zeros(4, dtype=complex)
+        state[0] = 1.0
+        state = apply_matrix(state, GATES["H"], (0,), 2)
+        state = apply_matrix(state, GATES["CNOT"], (0, 1), 2)
+        expected = np.array([1.0, 0.0, 0.0, 1.0]) / np.sqrt(2)
+        np.testing.assert_allclose(state, expected, atol=1e-12)
+
+    def test_swap_exchanges_qubits(self):
+        # |01> -> |10>
+        state = np.zeros(4, dtype=complex)
+        state[1] = 1.0
+        out = apply_matrix(state, GATES["SWAP"], (0, 1), 2)
+        expected = np.zeros(4)
+        expected[2] = 1.0
+        np.testing.assert_allclose(out, expected)
+
+
+class TestApplyMatrix:
+    @pytest.mark.parametrize("name", ["H", "X", "Y", "Z", "S", "T"])
+    def test_single_qubit_matches_full_matrix(self, name):
+        n = 4
+        state = _random_state(n, seed=3)
+        for qubit in range(n):
+            fast = apply_matrix(state, GATES[name], (qubit,), n)
+            reference = _embed_gate(GATES[name], (qubit,), n) @ state
+            np.testing.assert_allclose(fast, reference, atol=1e-12)
+
+    @pytest.mark.parametrize("name", ["CNOT", "CZ", "SWAP"])
+    def test_two_qubit_matches_full_matrix(self, name):
+        n = 4
+        state = _random_state(n, seed=4)
+        for control, target in itertools.permutations(range(n), 2):
+            fast = apply_matrix(state, GATES[name], (control, target), n)
+            reference = _embed_gate(GATES[name], (control, target), n) @ state
+            np.testing.assert_allclose(fast, reference, atol=1e-12)
+
+    def test_norm_preserved(self):
+        state = _random_state(5, seed=5)
+        out = apply_matrix(state, GATES["H"], (2,), 5)
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+    def test_input_not_modified(self):
+        state = _random_state(3, seed=6)
+        original = state.copy()
+        apply_matrix(state, GATES["X"], (1,), 3)
+        np.testing.assert_array_equal(state, original)
+
+    def test_duplicate_targets_raise(self):
+        with pytest.raises(ValueError):
+            apply_matrix(_random_state(3), GATES["CNOT"], (1, 1), 3)
+
+    def test_out_of_range_target_raises(self):
+        with pytest.raises(ValueError):
+            apply_matrix(_random_state(2), GATES["X"], (5,), 2)
+
+    def test_wrong_matrix_size_raises(self):
+        with pytest.raises(ValueError):
+            apply_matrix(_random_state(2), GATES["CNOT"], (0,), 2)
+
+    def test_wrong_state_size_raises(self):
+        with pytest.raises(ValueError):
+            apply_matrix(np.ones(3, dtype=complex), GATES["X"], (0,), 2)
+
+
+class TestParametricGates:
+    @settings(max_examples=30, deadline=None)
+    @given(theta=st.floats(-6.0, 6.0), phi=st.floats(-6.0, 6.0),
+           lam=st.floats(-6.0, 6.0))
+    def test_u3_is_unitary(self, theta, phi, lam):
+        assert is_unitary(u3_matrix([theta, phi, lam]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(theta=st.floats(-6.0, 6.0), phi=st.floats(-6.0, 6.0),
+           lam=st.floats(-6.0, 6.0))
+    def test_cu3_is_unitary(self, theta, phi, lam):
+        assert is_unitary(cu3_matrix([theta, phi, lam]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(theta=st.floats(-6.0, 6.0))
+    def test_rotations_are_unitary(self, theta):
+        for matrix_fn in (rx_matrix, ry_matrix, rz_matrix):
+            assert is_unitary(matrix_fn([theta]))
+
+    def test_u3_identity_at_zero(self):
+        np.testing.assert_allclose(u3_matrix([0.0, 0.0, 0.0]), np.eye(2), atol=1e-12)
+
+    def test_cu3_controls_identity_block(self):
+        matrix = cu3_matrix([0.3, 0.2, 0.1])
+        np.testing.assert_allclose(matrix[:2, :2], np.eye(2))
+        np.testing.assert_allclose(matrix[:2, 2:], 0.0)
+
+    def test_u3_reduces_to_ry(self):
+        theta = 0.7
+        np.testing.assert_allclose(u3_matrix([theta, 0.0, 0.0]),
+                                   ry_matrix([theta]), atol=1e-12)
+
+    @pytest.mark.parametrize("name", sorted(PARAMETRIC_GATES))
+    def test_derivatives_match_finite_differences(self, name):
+        spec = PARAMETRIC_GATES[name]
+        rng = np.random.default_rng(11)
+        params = rng.uniform(-np.pi, np.pi, size=spec.n_params)
+        analytic = spec.derivatives(params)
+        epsilon = 1e-6
+        for index in range(spec.n_params):
+            shifted_plus = params.copy()
+            shifted_plus[index] += epsilon
+            shifted_minus = params.copy()
+            shifted_minus[index] -= epsilon
+            numeric = (spec.matrix(shifted_plus) - spec.matrix(shifted_minus)) / (2 * epsilon)
+            np.testing.assert_allclose(analytic[index], numeric, atol=1e-6)
+
+    def test_wrong_parameter_count_raises(self):
+        with pytest.raises(ValueError):
+            PARAMETRIC_GATES["U3"].matrix([0.1])
+        with pytest.raises(ValueError):
+            PARAMETRIC_GATES["RX"].derivatives([0.1, 0.2])

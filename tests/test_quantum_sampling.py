@@ -1,0 +1,63 @@
+"""Tests for finite-shot (sampled) measurement estimates."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.measurement import (
+    sample_counts,
+    sampled_probabilities,
+    sampled_z_expectations,
+    z_expectations,
+)
+
+
+def _random_state(n_qubits, seed=0):
+    rng = np.random.default_rng(seed)
+    state = rng.normal(size=2**n_qubits) + 1j * rng.normal(size=2**n_qubits)
+    return state / np.linalg.norm(state)
+
+
+class TestSampling:
+    def test_counts_sum_to_shots(self):
+        counts = sample_counts(_random_state(3), n_shots=500, rng=0)
+        assert counts.sum() == 500
+        assert counts.size == 8
+
+    def test_deterministic_state_always_same_outcome(self):
+        state = np.zeros(4, dtype=complex)
+        state[2] = 1.0
+        counts = sample_counts(state, n_shots=100, rng=1)
+        assert counts[2] == 100
+
+    def test_invalid_shots(self):
+        with pytest.raises(ValueError):
+            sample_counts(_random_state(2), n_shots=0)
+
+    def test_sampled_probabilities_converge(self):
+        state = _random_state(3, seed=2)
+        exact = np.abs(state) ** 2
+        estimate = sampled_probabilities(state, n_shots=20_000, rng=3)
+        assert np.abs(estimate - exact).max() < 0.02
+
+    def test_sampled_z_expectations_converge(self):
+        state = _random_state(4, seed=4)
+        exact = z_expectations(state, range(4), 4)
+        estimate = sampled_z_expectations(state, range(4), 4, n_shots=20_000, rng=5)
+        np.testing.assert_allclose(estimate, exact, atol=0.03)
+
+    def test_sampled_z_bounds(self):
+        values = sampled_z_expectations(_random_state(3, 6), range(3), 3,
+                                        n_shots=100, rng=7)
+        assert np.all(np.abs(values) <= 1.0)
+
+    def test_sampled_z_validates_inputs(self):
+        with pytest.raises(ValueError):
+            sampled_z_expectations(_random_state(2), [5], 2, n_shots=10)
+        with pytest.raises(ValueError):
+            sampled_z_expectations(np.ones(3, dtype=complex), [0], 2, n_shots=10)
+
+    def test_reproducible_with_seed(self):
+        state = _random_state(3, seed=8)
+        a = sample_counts(state, 200, rng=9)
+        b = sample_counts(state, 200, rng=9)
+        np.testing.assert_array_equal(a, b)

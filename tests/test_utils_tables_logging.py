@@ -1,0 +1,80 @@
+"""Tests for repro.utils.tables and repro.utils.logging."""
+
+import pytest
+
+from repro.utils.logging import RunLogger
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]])
+        assert "a" in text and "b" in text
+        assert "1" in text and "4" in text
+
+    def test_title_is_first_line(self):
+        text = format_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_column_alignment(self):
+        text = format_table(["name", "v"], [["long-model-name", 1], ["s", 2]])
+        lines = text.splitlines()
+        # All data lines share the position of the column separator.
+        positions = {line.index("|") for line in lines if "|" in line}
+        assert len(positions) == 1
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000328]])
+        assert "0.000328" in text
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestRunLogger:
+    def test_history_records_values(self):
+        logger = RunLogger()
+        logger.log(0, loss=1.0)
+        logger.log(1, loss=0.5)
+        assert logger.history("loss") == [1.0, 0.5]
+
+    def test_steps_recorded(self):
+        logger = RunLogger()
+        logger.log(3, loss=1.0)
+        logger.log(7, loss=0.7)
+        assert logger.steps("loss") == [3, 7]
+
+    def test_last_value(self):
+        logger = RunLogger()
+        logger.log(0, ssim=0.8)
+        logger.log(1, ssim=0.9)
+        assert logger.last("ssim") == 0.9
+
+    def test_last_default_for_missing_key(self):
+        logger = RunLogger()
+        assert logger.last("missing") is None
+        assert logger.last("missing", default=0.0) == 0.0
+
+    def test_keys_sorted(self):
+        logger = RunLogger()
+        logger.log(0, b=1.0, a=2.0)
+        assert logger.keys() == ["a", "b"]
+
+    def test_as_dict_copies(self):
+        logger = RunLogger()
+        logger.log(0, loss=1.0)
+        exported = logger.as_dict()
+        exported["loss"].append(123.0)
+        assert logger.history("loss") == [1.0]
+
+    def test_verbose_prints(self, capsys):
+        logger = RunLogger(name="demo", verbose=True)
+        logger.log(0, loss=1.0)
+        captured = capsys.readouterr()
+        assert "demo" in captured.out
+        assert "loss" in captured.out
