@@ -1,0 +1,132 @@
+"""Benchmark — simulation backends across qubit counts and batch sizes.
+
+Times a batched forward pass of the paper's U3+CU3 ansatz on every registered
+simulation backend.  The loop backend executes the batch as a Python loop of
+per-gate statevector updates; the einsum backend executes the whole batch as
+stacked contractions, which is where QuBatch mini-batches and stacked
+parameter-shift sweeps get their speedup.
+
+Run directly (CI uses ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py --quick
+
+The full sweep also exercises 10 qubits and batch 32.  Results are printed
+and written to ``benchmarks/results/bench_backends.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.backends import available_backends, get_backend
+from repro.quantum.ansatz import u3_cu3_ansatz
+from repro.utils.tables import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _random_states(n_qubits: int, batch: int, rng) -> np.ndarray:
+    states = (rng.normal(size=(batch, 2**n_qubits))
+              + 1j * rng.normal(size=(batch, 2**n_qubits)))
+    return states / np.linalg.norm(states, axis=1, keepdims=True)
+
+
+def time_backend(backend, circuit, states, params, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of one batched forward pass in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        backend.run_batched(circuit, states, params)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmark(qubit_counts: Sequence[int], batch_sizes: Sequence[int],
+                  n_blocks: int, repeats: int,
+                  backend_names: Sequence[str]) -> Tuple[List[List[object]], Dict]:
+    """Return table rows and the speedup map ``{(n_qubits, batch): factor}``."""
+    rng = np.random.default_rng(0)
+    rows: List[List[object]] = []
+    speedups: Dict[Tuple[int, int], float] = {}
+    baseline_name = backend_names[0]
+    for n_qubits in qubit_counts:
+        circuit = u3_cu3_ansatz(n_qubits, n_blocks=n_blocks)
+        params = rng.normal(size=circuit.n_params)
+        for batch in batch_sizes:
+            states = _random_states(n_qubits, batch, rng)
+            timings = {}
+            for name in backend_names:
+                backend = get_backend(name)
+                # Warm up caches (einsum subscripts, fixed-gate tensors).
+                backend.run_batched(circuit, states, params)
+                timings[name] = time_backend(backend, circuit, states, params,
+                                             repeats)
+            baseline = timings[baseline_name]
+            for name in backend_names:
+                elapsed = timings[name]
+                factor = baseline / elapsed if elapsed > 0 else float("inf")
+                if name != baseline_name:
+                    speedups[(n_qubits, batch)] = factor
+                rows.append([name, n_qubits, batch, len(circuit),
+                             elapsed * 1e3, elapsed * 1e3 / batch,
+                             f"{factor:.2f}x"])
+    return rows, speedups
+
+
+def render(rows: List[List[object]]) -> str:
+    return format_table(
+        ["backend", "qubits", "batch", "gates", "total ms", "ms/sample",
+         "vs loop"],
+        rows,
+        title="Backend comparison: batched forward pass of the U3+CU3 ansatz")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized sweep (fewer qubit counts and batches)")
+    parser.add_argument("--blocks", type=int, default=12,
+                        help="ansatz blocks (paper uses 12)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per cell (best is reported)")
+    parser.add_argument("--assert-speedup", type=float, default=None,
+                        metavar="FACTOR",
+                        help="exit non-zero unless the einsum backend beats "
+                             "the loop backend by FACTOR at batch >= 8 and "
+                             ">= 6 qubits")
+    args = parser.parse_args()
+
+    if args.quick:
+        qubit_counts, batch_sizes = (4, 6, 8), (1, 8)
+    else:
+        qubit_counts, batch_sizes = (4, 6, 8, 10), (1, 8, 32)
+    backend_names = [name for name in ("numpy", "einsum")
+                     if name in available_backends()]
+    rows, speedups = run_benchmark(qubit_counts, batch_sizes, args.blocks,
+                                   args.repeats, backend_names)
+    text = render(rows)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / "bench_backends.txt"
+    path.write_text(text + "\n")
+    print(text)
+    print(f"[written to {path}]")
+
+    relevant = {key: factor for key, factor in speedups.items()
+                if key[0] >= 6 and key[1] >= 8}
+    if relevant:
+        best = max(relevant.values())
+        print(f"einsum vs loop at batch >= 8, >= 6 qubits: best "
+              f"{best:.2f}x, worst {min(relevant.values()):.2f}x")
+        if args.assert_speedup is not None and best < args.assert_speedup:
+            print(f"FAIL: expected >= {args.assert_speedup:.2f}x")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

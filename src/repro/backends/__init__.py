@@ -1,0 +1,55 @@
+"""Pluggable statevector simulation backends.
+
+Simulation is a first-class, swappable subsystem: every consumer
+(:class:`~repro.quantum.circuit.ParameterizedCircuit`, the adjoint gradients
+in :mod:`repro.quantum.autodiff`, :class:`~repro.core.vqc_model.QuGeoVQC`,
+:class:`~repro.core.qubatch.QuBatchVQC` and the benchmarks) executes through
+the :class:`SimulationBackend` interface and engines are resolved by name
+from a registry:
+
+>>> from repro.backends import get_backend
+>>> get_backend("numpy")    # bit-exact per-gate loop (the default)
+>>> get_backend("einsum")   # vectorised batched-statevector engine
+
+The default is chosen per call site (an explicit argument or
+``QuGeoVQCConfig.backend``), falling back to the ``QUGEO_BACKEND``
+environment variable and then to ``"numpy"``.  Future engines (GPU, sparse,
+remote hardware) plug in with :func:`register_backend` without touching any
+caller.
+"""
+
+from repro.backends.base import BackendCapabilities, SimulationBackend
+from repro.backends.registry import (
+    BACKEND_ENV_VAR,
+    BackendError,
+    DuplicateBackendError,
+    UnknownBackendError,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    set_default_backend,
+    unregister_backend,
+)
+from repro.backends.numpy_loop import NumpyLoopBackend
+from repro.backends.einsum_batch import EinsumBatchBackend
+
+register_backend("numpy", NumpyLoopBackend)
+register_backend("einsum", EinsumBatchBackend)
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BackendCapabilities",
+    "BackendError",
+    "DuplicateBackendError",
+    "EinsumBatchBackend",
+    "NumpyLoopBackend",
+    "SimulationBackend",
+    "UnknownBackendError",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
+    "unregister_backend",
+]

@@ -1,0 +1,211 @@
+"""The abstract simulation-backend interface.
+
+A :class:`SimulationBackend` owns the execution of a
+:class:`~repro.quantum.circuit.ParameterizedCircuit` on statevectors.  The
+rest of the codebase (circuit ``run``, the adjoint differentiation, the
+QuGeoVQC / QuBatchVQC models and every benchmark) talks to simulation only
+through this interface, so alternative engines — vectorised NumPy, GPU,
+sparse, remote hardware — can be swapped in via the registry in
+:mod:`repro.backends.registry` without touching callers.
+
+Conventions shared by all backends (see :mod:`repro.quantum.gates`):
+
+* a state over ``n`` qubits is a complex vector of length ``2**n`` with
+  qubit 0 as the most significant bit of the basis index;
+* a batch of states is an array of shape ``(batch, 2**n)``;
+* gate matrices order ``targets[0]`` as the most significant qubit of the
+  gate's own index space (for controlled gates: ``(control, target)``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.quantum.circuit import ParameterizedCircuit
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend can do natively (callers may use these to pick paths).
+
+    Attributes
+    ----------
+    batched_states:
+        ``run_batched`` executes a whole stack of states in one vectorised
+        pass instead of looping.
+    batched_params:
+        ``run_batched`` accepts a ``(batch, n_params)`` parameter matrix and
+        evaluates a *different* parameter vector per state in the same pass
+        (used to stack parameter-shift sweeps).
+    gate_fusion:
+        Adjacent single-qubit gates on the same wire are fused into one
+        matrix before application.
+    adjoint:
+        ``run(..., return_intermediate=True)`` is supported, which the
+        reverse-mode gradient in :mod:`repro.quantum.autodiff` requires.
+    """
+
+    batched_states: bool = False
+    batched_params: bool = False
+    gate_fusion: bool = False
+    adjoint: bool = True
+
+
+class SimulationBackend(ABC):
+    """Abstract statevector simulation engine.
+
+    Concrete engines implement :meth:`run` (and usually override
+    :meth:`run_batched` with something faster than the default loop) and
+    register themselves under a string key with
+    :func:`repro.backends.registry.register_backend`.
+    """
+
+    #: Registry key and display name of the engine.
+    name: str = "abstract"
+
+    #: Capability flags; override in subclasses.
+    capabilities: BackendCapabilities = BackendCapabilities()
+
+    # ------------------------------------------------------------------ #
+    # core execution
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def run(self, circuit: "ParameterizedCircuit", state: np.ndarray,
+            params: Optional[np.ndarray] = None,
+            return_intermediate: bool = False):
+        """Apply ``circuit`` to one statevector.
+
+        Parameters
+        ----------
+        circuit:
+            The gate program to execute.
+        state:
+            Input statevector of length ``2**circuit.n_qubits``.
+        params:
+            Flat parameter vector of length ``circuit.n_params`` (``None``
+            means all-zero parameters).
+        return_intermediate:
+            Also return the list of statevectors *before* each gate, in op
+            order, as required by the adjoint gradient sweep.
+
+        Returns
+        -------
+        numpy.ndarray or (numpy.ndarray, list[numpy.ndarray])
+            The output statevector, plus the per-op intermediates when
+            ``return_intermediate`` is true.
+        """
+
+    def run_batched(self, circuit: "ParameterizedCircuit", states: np.ndarray,
+                    params: Optional[np.ndarray] = None) -> np.ndarray:
+        """Apply ``circuit`` to a ``(batch, 2**n)`` stack of statevectors.
+
+        ``params`` may be a shared ``(n_params,)`` vector or — when the
+        backend advertises ``batched_params`` — a ``(batch, n_params)``
+        matrix giving each state its own parameters.  The default
+        implementation loops over :meth:`run`.
+        """
+        states = np.asarray(states, dtype=np.complex128)
+        if states.ndim != 2:
+            raise ValueError("states must have shape (batch, 2**n_qubits)")
+        per_state_params = self._per_state_params(circuit, states.shape[0], params)
+        return np.stack([self.run(circuit, state, p)
+                         for state, p in zip(states, per_state_params)])
+
+    def _per_state_params(self, circuit: "ParameterizedCircuit", batch: int,
+                          params: Optional[np.ndarray]) -> List[Optional[np.ndarray]]:
+        """Expand ``params`` into one parameter vector per batch entry."""
+        if params is None:
+            return [None] * batch
+        params = np.asarray(params, dtype=np.float64)
+        if params.ndim <= 1:
+            return [params] * batch
+        if params.ndim == 2:
+            if params.shape[0] != batch:
+                raise ValueError(
+                    f"parameter batch {params.shape[0]} does not match "
+                    f"state batch {batch}")
+            return list(params)
+        raise ValueError("params must be a vector or a (batch, n_params) matrix")
+
+    # ------------------------------------------------------------------ #
+    # shared input validation (one copy of the run() contract)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def validate_state(circuit: "ParameterizedCircuit",
+                       state: np.ndarray) -> np.ndarray:
+        """Coerce ``state`` to a flat complex vector of the register size."""
+        state = np.asarray(state, dtype=np.complex128).reshape(-1)
+        if state.size != 2**circuit.n_qubits:
+            raise ValueError(
+                f"state length {state.size} does not match "
+                f"{circuit.n_qubits} qubits")
+        return state
+
+    @staticmethod
+    def validate_params(circuit: "ParameterizedCircuit",
+                        params: Optional[np.ndarray]) -> np.ndarray:
+        """Coerce ``params`` to a flat float vector (``None`` -> zeros)."""
+        if params is None:
+            return np.zeros(circuit.n_params)
+        params = np.asarray(params, dtype=np.float64).reshape(-1)
+        if params.size != circuit.n_params:
+            raise ValueError(
+                f"expected {circuit.n_params} parameters, got {params.size}")
+        return params
+
+    # ------------------------------------------------------------------ #
+    # primitives shared with the adjoint sweep
+    # ------------------------------------------------------------------ #
+    def apply_gate(self, state: np.ndarray, matrix: np.ndarray,
+                   targets: Sequence[int], n_qubits: int) -> np.ndarray:
+        """Apply one gate matrix to one statevector.
+
+        The adjoint sweep uses this to pull the co-state back through
+        ``U^dagger``; the default delegates to the reference implementation
+        in :mod:`repro.quantum.gates`.
+        """
+        from repro.quantum.gates import apply_matrix
+
+        return apply_matrix(state, matrix, targets, n_qubits)
+
+    # ------------------------------------------------------------------ #
+    # measurement heads
+    # ------------------------------------------------------------------ #
+    def expectation(self, circuit: "ParameterizedCircuit", state: np.ndarray,
+                    params: Optional[np.ndarray] = None,
+                    qubits: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Pauli-Z expectations of ``qubits`` on the circuit's output state.
+
+        ``qubits`` defaults to the full register.  This is the read-out used
+        by the layer-wise (Q-M-LY) decoder.
+        """
+        from repro.quantum.measurement import z_expectations
+
+        if qubits is None:
+            qubits = tuple(range(circuit.n_qubits))
+        output = self.run(circuit, state, params)
+        return z_expectations(output, qubits, circuit.n_qubits)
+
+    def expectation_batched(self, circuit: "ParameterizedCircuit",
+                            states: np.ndarray,
+                            params: Optional[np.ndarray] = None,
+                            qubits: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Per-state Z expectations, shape ``(batch, len(qubits))``."""
+        from repro.quantum.measurement import z_expectations
+
+        if qubits is None:
+            qubits = tuple(range(circuit.n_qubits))
+        outputs = self.run_batched(circuit, states, params)
+        return np.stack([z_expectations(out, qubits, circuit.n_qubits)
+                         for out in outputs])
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,271 @@
+"""Vectorised batched-statevector engine.
+
+:class:`EinsumBatchBackend` keeps a leading batch axis on the state tensor
+(``(batch,) + (2,) * n_qubits``) and applies every gate to the *whole* batch
+with one cached :func:`numpy.einsum` contraction, so a QuBatch mini-batch or
+a stacked parameter-shift sweep executes as a handful of BLAS-sized
+contractions instead of a Python loop over samples and gates.
+
+Three optimisations on top of the plain batched contraction:
+
+* **cached einsum subscripts** — the contraction string for a gate depends
+  only on ``(n_qubits, targets, gate_batched)`` and is memoised, so the
+  per-call cost is the contraction itself;
+* **single-qubit gate fusion** — adjacent single-qubit gates on the same
+  wire (with no intervening op touching that wire) are multiplied into one
+  2x2 matrix before application, halving the number of full-state passes
+  for rotation chains;
+* **memoised fixed-gate tensors** — the ``(2,) * 2k`` tensor forms of the
+  fixed gates (H, CNOT, CZ, SWAP, ...) are built once per engine, and
+  batched parameter sweeps build each gate's ``(batch, 2**k, 2**k)`` matrix
+  stack without a Python loop via
+  :meth:`repro.quantum.parametric.ParametricGate.matrix_stack`.
+"""
+
+from __future__ import annotations
+
+import string
+from functools import lru_cache
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.backends.base import BackendCapabilities, SimulationBackend
+from repro.quantum.gates import GATES
+from repro.quantum.parametric import PARAMETRIC_GATES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.quantum.circuit import GateOp, ParameterizedCircuit
+
+_LETTERS = string.ascii_lowercase + string.ascii_uppercase
+
+
+@lru_cache(maxsize=None)
+def _apply_subscripts(n_qubits: int, targets: Tuple[int, ...],
+                      gate_batched: bool) -> str:
+    """Einsum subscripts applying a ``k``-qubit gate to a batched state.
+
+    The state operand is ``(batch,) + (2,) * n_qubits``; the gate operand is
+    ``(2,) * 2k`` (or with a leading batch axis when ``gate_batched``).
+    """
+    k = len(targets)
+    needed = n_qubits + k + 1
+    if needed > len(_LETTERS):
+        raise ValueError(
+            f"register of {n_qubits} qubits with a {k}-qubit gate exceeds "
+            f"the einsum index budget")
+    state = list(_LETTERS[:n_qubits])
+    out = list(_LETTERS[n_qubits:n_qubits + k])
+    batch = _LETTERS[n_qubits + k]
+    gate = "".join(out) + "".join(state[t] for t in targets)
+    if gate_batched:
+        gate = batch + gate
+    new_state = list(state)
+    for letter, target in zip(out, targets):
+        new_state[target] = letter
+    return f"{gate},{batch}{''.join(state)}->{batch}{''.join(new_state)}"
+
+
+class EinsumBatchBackend(SimulationBackend):
+    """Batched statevector simulation via cached einsum contractions."""
+
+    name = "einsum"
+    capabilities = BackendCapabilities(batched_states=True,
+                                       batched_params=True,
+                                       gate_fusion=True,
+                                       adjoint=True)
+
+    #: State tensors with at least this many elements route through a
+    #: precomputed BLAS-dispatching contraction path; smaller ones stay on
+    #: the plain C einsum kernel, whose per-call overhead is lower.
+    path_threshold: int = 1 << 13
+
+    def __init__(self, fuse_single_qubit_gates: bool = True) -> None:
+        self.fuse_single_qubit_gates = bool(fuse_single_qubit_gates)
+        self._fixed_tensors: Dict[str, np.ndarray] = {}
+        self._paths: Dict[Tuple[str, Tuple[int, ...], Tuple[int, ...]], list] = {}
+
+    # ------------------------------------------------------------------ #
+    # gate material
+    # ------------------------------------------------------------------ #
+    def _fixed_tensor(self, name: str) -> np.ndarray:
+        """Memoised ``(2,) * 2k`` tensor form of a fixed gate."""
+        tensor = self._fixed_tensors.get(name)
+        if tensor is None:
+            matrix = GATES[name]
+            k = int(np.log2(matrix.shape[0]))
+            tensor = np.ascontiguousarray(matrix.reshape((2,) * (2 * k)))
+            tensor.setflags(write=False)
+            self._fixed_tensors[name] = tensor
+        return tensor
+
+    def _op_matrix(self, op: "GateOp", params: np.ndarray,
+                   params_batched: bool) -> Tuple[np.ndarray, bool]:
+        """Gate material for one op as ``(matrix, batched)``.
+
+        ``matrix`` is a ``(2**k, 2**k)`` matrix, its ``(2,) * 2k`` tensor
+        form (fixed gates, memoised) or a ``(batch, 2**k, 2**k)`` stack;
+        :meth:`_apply_batched` reshapes uniformly.
+        """
+        if not op.is_parametric:
+            return self._fixed_tensor(op.name), False
+        if params_batched:
+            columns = tuple(params[:, i] for i in op.param_indices)
+            return PARAMETRIC_GATES[op.name].matrix_stack(columns), True
+        gate_params = [float(params[i]) for i in op.param_indices]
+        return PARAMETRIC_GATES[op.name].matrix(gate_params), False
+
+    # ------------------------------------------------------------------ #
+    # fused gate stream
+    # ------------------------------------------------------------------ #
+    def _gate_stream(self, circuit: "ParameterizedCircuit", params: np.ndarray,
+                     params_batched: bool
+                     ) -> Iterator[Tuple[np.ndarray, Tuple[int, ...], bool]]:
+        """Yield ``(matrix, targets, batched)`` with single-qubit fusion.
+
+        A single-qubit gate is held back per wire and composed with later
+        single-qubit gates on the same wire; it is flushed as one matrix
+        when a multi-qubit gate touches the wire (or at the end of the
+        circuit).  Deferral is safe because gates on disjoint wires commute.
+        """
+        if not self.fuse_single_qubit_gates:
+            for op in circuit.ops:
+                matrix, batched = self._op_matrix(op, params, params_batched)
+                yield matrix, op.qubits, batched
+            return
+        pending: Dict[int, Tuple[np.ndarray, bool]] = {}
+        order: List[int] = []
+        for op in circuit.ops:
+            matrix, batched = self._op_matrix(op, params, params_batched)
+            if len(op.qubits) == 1:
+                wire = op.qubits[0]
+                held = pending.get(wire)
+                if held is None:
+                    pending[wire] = (matrix, batched)
+                    order.append(wire)
+                else:
+                    # Later gate multiplies from the left: state -> M_new M_old.
+                    pending[wire] = (matrix @ held[0], batched or held[1])
+            else:
+                for wire in op.qubits:
+                    held = pending.pop(wire, None)
+                    if held is not None:
+                        order.remove(wire)
+                        yield held[0], (wire,), held[1]
+                yield matrix, op.qubits, batched
+        for wire in order:
+            held = pending[wire]
+            yield held[0], (wire,), held[1]
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _apply_batched(self, tensor: np.ndarray, matrix: np.ndarray,
+                       targets: Tuple[int, ...], n_qubits: int,
+                       gate_batched: bool) -> np.ndarray:
+        """One einsum contraction over the whole batch."""
+        k = len(targets)
+        gate_shape = ((matrix.shape[0],) if gate_batched else ()) + (2,) * (2 * k)
+        gate = matrix.reshape(gate_shape)
+        subscripts = _apply_subscripts(n_qubits, tuple(targets), gate_batched)
+        if tensor.size >= self.path_threshold:
+            return np.einsum(subscripts, gate, tensor,
+                             optimize=self._contraction_path(
+                                 subscripts, gate, tensor))
+        return np.einsum(subscripts, gate, tensor)
+
+    def _contraction_path(self, subscripts: str, gate: np.ndarray,
+                          tensor: np.ndarray) -> list:
+        """Memoised ``einsum_path`` so the path search is paid once per shape.
+
+        On large state tensors the optimised executor dispatches the
+        contraction to BLAS (``tensordot``), which is several times faster
+        than the plain C einsum kernel for middle-axis targets.
+        """
+        key = (subscripts, gate.shape, tensor.shape)
+        path = self._paths.get(key)
+        if path is None:
+            path = np.einsum_path(subscripts, gate, tensor,
+                                  optimize="optimal")[0]
+            self._paths[key] = path
+        return path
+
+    def run_batched(self, circuit: "ParameterizedCircuit", states: np.ndarray,
+                    params: Optional[np.ndarray] = None) -> np.ndarray:
+        states = np.asarray(states, dtype=np.complex128)
+        if states.ndim != 2:
+            raise ValueError("states must have shape (batch, 2**n_qubits)")
+        n = circuit.n_qubits
+        if states.shape[1] != 2**n:
+            raise ValueError(
+                f"state length {states.shape[1]} does not match {n} qubits")
+        batch = states.shape[0]
+        params, params_batched = self._normalise_params(circuit, batch, params)
+        tensor = states.reshape((batch,) + (2,) * n)
+        for matrix, targets, batched in self._gate_stream(circuit, params,
+                                                          params_batched):
+            tensor = self._apply_batched(tensor, matrix, targets, n, batched)
+        return np.ascontiguousarray(tensor.reshape(batch, -1))
+
+    def run(self, circuit: "ParameterizedCircuit", state: np.ndarray,
+            params: Optional[np.ndarray] = None,
+            return_intermediate: bool = False):
+        state = self.validate_state(circuit, state)
+        if not return_intermediate:
+            return self.run_batched(circuit, state[None, :], params)[0]
+        # Adjoint path: the gradient sweep needs the state before every op,
+        # so fusion is disabled and each op is applied individually.
+        params, params_batched = self._normalise_params(circuit, 1, params)
+        if params_batched:  # a single-row matrix is just a shared vector here
+            params = params.reshape(-1)
+        n = circuit.n_qubits
+        intermediates: List[np.ndarray] = []
+        current = state
+        for op in circuit.ops:
+            intermediates.append(current)
+            matrix, _ = self._op_matrix(op, params, False)
+            tensor = current.reshape((1,) + (2,) * n)
+            current = self._apply_batched(tensor, matrix, op.qubits, n,
+                                          False).reshape(-1)
+        return current, intermediates
+
+    def _normalise_params(self, circuit: "ParameterizedCircuit", batch: int,
+                          params: Optional[np.ndarray]
+                          ) -> Tuple[np.ndarray, bool]:
+        """Validate params and report whether they vary across the batch."""
+        if params is None or np.ndim(params) <= 1:
+            return self.validate_params(circuit, params), False
+        params = np.asarray(params, dtype=np.float64)
+        if params.ndim == 2:
+            if params.shape[1] != circuit.n_params:
+                raise ValueError(
+                    f"expected {circuit.n_params} parameters per row, got "
+                    f"{params.shape[1]}")
+            if params.shape[0] != batch:
+                raise ValueError(
+                    f"parameter batch {params.shape[0]} does not match state "
+                    f"batch {batch}")
+            return params, True
+        raise ValueError("params must be a vector or a (batch, n_params) matrix")
+
+    # ------------------------------------------------------------------ #
+    # measurement heads (vectorised)
+    # ------------------------------------------------------------------ #
+    def expectation_batched(self, circuit: "ParameterizedCircuit",
+                            states: np.ndarray,
+                            params: Optional[np.ndarray] = None,
+                            qubits: Optional[Tuple[int, ...]] = None
+                            ) -> np.ndarray:
+        n = circuit.n_qubits
+        if qubits is None:
+            qubits = tuple(range(n))
+        outputs = self.run_batched(circuit, states, params)
+        probs = np.abs(outputs) ** 2
+        indices = np.arange(2**n)
+        values = np.empty((outputs.shape[0], len(qubits)))
+        for column, qubit in enumerate(qubits):
+            if not 0 <= qubit < n:
+                raise ValueError(f"qubit {qubit} outside register")
+            signs = 1.0 - 2.0 * ((indices >> (n - 1 - qubit)) & 1)
+            values[:, column] = probs @ signs
+        return values

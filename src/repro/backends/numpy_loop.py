@@ -1,0 +1,48 @@
+"""The reference engine: one gate, one statevector at a time.
+
+:class:`NumpyLoopBackend` reproduces the pre-subsystem execution path
+bit-for-bit — a Python loop over the circuit's ops calling
+:func:`repro.quantum.gates.apply_matrix` — so every existing test, trained
+model and benchmark number is preserved when it is the active backend (it is
+the registry default).  It is also the ground truth the vectorised engines
+are tested against.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from repro.backends.base import BackendCapabilities, SimulationBackend
+from repro.quantum.gates import apply_matrix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.quantum.circuit import ParameterizedCircuit
+
+
+class NumpyLoopBackend(SimulationBackend):
+    """Sequential per-gate NumPy statevector simulation (legacy path)."""
+
+    name = "numpy"
+    capabilities = BackendCapabilities(batched_states=False,
+                                       batched_params=False,
+                                       gate_fusion=False,
+                                       adjoint=True)
+
+    def run(self, circuit: "ParameterizedCircuit", state: np.ndarray,
+            params: Optional[np.ndarray] = None,
+            return_intermediate: bool = False):
+        state = self.validate_state(circuit, state)
+        params = self.validate_params(circuit, params)
+
+        intermediates: List[np.ndarray] = []
+        current = state
+        for op in circuit.ops:
+            if return_intermediate:
+                intermediates.append(current)
+            matrix = circuit.op_matrix(op, params)
+            current = apply_matrix(current, matrix, op.qubits, circuit.n_qubits)
+        if return_intermediate:
+            return current, intermediates
+        return current

@@ -88,6 +88,11 @@ class QuGeoVQCConfig:
     max_qubits:
         Hardware qubit budget; construction fails if exceeded (the paper uses
         16 to match near-term devices).
+    backend:
+        Name of the simulation backend the model executes on (a key of
+        :func:`repro.backends.available_backends`, e.g. ``"numpy"`` or
+        ``"einsum"``).  ``None`` defers to the ``QUGEO_BACKEND`` environment
+        variable and then the registry default.
     """
 
     n_groups: int = 1
@@ -99,10 +104,13 @@ class QuGeoVQCConfig:
     inter_group_blocks: int = 1
     max_qubits: int = 16
     trainable_output_scale: bool = True
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.decoder not in ("pixel", "layer"):
             raise ValueError("decoder must be 'pixel' or 'layer'")
+        if self.backend is not None and not isinstance(self.backend, str):
+            raise ValueError("backend must be None or a backend name string")
         if self.n_groups <= 0 or self.qubits_per_group <= 0:
             raise ValueError("group layout must be positive")
         if self.n_blocks <= 0:

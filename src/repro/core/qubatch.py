@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backends import get_backend
 from repro.core.config import QuGeoVQCConfig
 from repro.nn.tensor import Tensor
 from repro.quantum.ansatz import u3_cu3_ansatz
@@ -43,14 +44,20 @@ class QuBatchVQC:
         capacity is ``2**n_batch_qubits`` samples per circuit execution.
     rng:
         Seed / generator for parameter initialisation.
+    backend:
+        Simulation engine (name, instance or ``None``).  ``None`` resolves
+        ``config.backend`` and then the process default.
     """
 
-    def __init__(self, config: QuGeoVQCConfig, rng: RngLike = None) -> None:
+    def __init__(self, config: QuGeoVQCConfig, rng: RngLike = None,
+                 backend=None) -> None:
         if config.n_batch_qubits < 1:
             raise ValueError("QuBatchVQC needs at least one batch qubit")
         if config.n_groups != 1:
             raise ValueError("QuBatchVQC currently supports a single encoder group")
         self.config = config
+        self.backend = get_backend(backend if backend is not None
+                                   else config.backend)
         rng = ensure_rng(rng)
         st_encoder = STEncoder(n_groups=1,
                                qubits_per_group=config.qubits_per_group)
@@ -178,7 +185,7 @@ class QuBatchVQC:
             raise ValueError(f"batch of {n_samples} exceeds capacity "
                              f"{self.batch_capacity}")
         state = self.encode(seismic_batch)
-        output = self.circuit.run(state, self.theta.data)
+        output = self.circuit.run(state, self.theta.data, backend=self.backend)
         return self._decode_blocks(output, n_samples)
 
     def predict(self, seismic: np.ndarray) -> np.ndarray:
@@ -253,7 +260,8 @@ class QuBatchVQC:
             return total_loss / n_samples, lam.reshape(-1)
 
         loss, theta_grad = circuit_gradients(self.circuit, self.theta.data,
-                                             state, loss_head)
+                                             state, loss_head,
+                                             backend=self.backend)
         gradients = {"theta": theta_grad}
         if self.config.decoder == "pixel" and self.config.trainable_output_scale:
             gradients["output_scale"] = scale_grad / n_samples

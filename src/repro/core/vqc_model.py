@@ -27,6 +27,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backends import get_backend
 from repro.core.config import QuGeoVQCConfig
 from repro.nn.tensor import Tensor
 from repro.quantum.ansatz import grouped_st_ansatz, u3_cu3_ansatz
@@ -55,14 +56,20 @@ class QuGeoVQC:
         :class:`~repro.core.qubatch.QuBatchVQC` for batched execution.
     rng:
         Seed / generator for the parameter initialisation.
+    backend:
+        Simulation engine (name, instance or ``None``).  ``None`` resolves
+        ``config.backend`` and then the process default.
     """
 
     name = "QuGeoVQC"
 
-    def __init__(self, config: QuGeoVQCConfig = None, rng: RngLike = None) -> None:
+    def __init__(self, config: QuGeoVQCConfig = None, rng: RngLike = None,
+                 backend=None) -> None:
         self.config = config or QuGeoVQCConfig()
         if self.config.n_batch_qubits != 0:
             raise ValueError("QuGeoVQC does not batch; use QuBatchVQC instead")
+        self.backend = get_backend(backend if backend is not None
+                                   else self.config.backend)
         rng = ensure_rng(rng)
         self.encoder = STEncoder(n_groups=self.config.n_groups,
                                  qubits_per_group=self.config.qubits_per_group)
@@ -124,7 +131,7 @@ class QuGeoVQC:
     def run_circuit(self, seismic: np.ndarray) -> np.ndarray:
         """Return the output statevector for one sample."""
         state = self.encode(seismic)
-        return self.circuit.run(state, self.theta.data)
+        return self.circuit.run(state, self.theta.data, backend=self.backend)
 
     def decode(self, state: np.ndarray) -> np.ndarray:
         """Map an output statevector to a normalised velocity map."""
@@ -143,7 +150,16 @@ class QuGeoVQC:
         return self.decode(self.run_circuit(seismic))
 
     def predict_batch(self, seismic_batch: Sequence[np.ndarray]) -> np.ndarray:
-        """Predict velocity maps for a sequence of samples."""
+        """Predict velocity maps for a sequence of samples.
+
+        On a backend with ``batched_states`` the whole mini-batch of circuit
+        executions runs as one stacked contraction.
+        """
+        if len(seismic_batch) > 1 and self.backend.capabilities.batched_states:
+            states = np.stack([self.encode(sample) for sample in seismic_batch])
+            outputs = self.circuit.run_batched(states, self.theta.data,
+                                               backend=self.backend)
+            return np.stack([self.decode(output) for output in outputs])
         return np.stack([self.predict(sample) for sample in seismic_batch])
 
     # ------------------------------------------------------------------ #
@@ -197,7 +213,8 @@ class QuGeoVQC:
                 return loss, lam
 
         loss, theta_grad = circuit_gradients(self.circuit, self.theta.data,
-                                             state, loss_head)
+                                             state, loss_head,
+                                             backend=self.backend)
         gradients = {"theta": theta_grad}
         if self.config.decoder == "pixel" and self.config.trainable_output_scale:
             gradients["output_scale"] = scale_grad.copy()

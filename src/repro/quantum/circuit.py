@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.quantum.gates import GATES, apply_matrix
+from repro.quantum.gates import GATES
 from repro.quantum.parametric import PARAMETRIC_GATES
 
 
@@ -130,7 +130,7 @@ class ParameterizedCircuit:
         return GATES[op.name]
 
     def run(self, state: np.ndarray, params: Optional[np.ndarray] = None,
-            return_intermediate: bool = False):
+            return_intermediate: bool = False, backend=None):
         """Apply the full circuit to ``state``.
 
         Parameters
@@ -142,33 +142,37 @@ class ParameterizedCircuit:
         return_intermediate:
             Also return the list of statevectors *before* each gate (used by
             the reverse-mode gradient computation).
+        backend:
+            Simulation engine: a registered name, a
+            :class:`~repro.backends.base.SimulationBackend` instance, or
+            ``None`` for the process default (see :mod:`repro.backends`).
 
         Returns
         -------
         numpy.ndarray
             The output statevector.
         """
-        state = np.asarray(state, dtype=np.complex128).reshape(-1)
-        if state.size != 2**self.n_qubits:
-            raise ValueError(
-                f"state length {state.size} does not match {self.n_qubits} qubits")
-        if params is None:
-            params = np.zeros(self.n_params)
-        params = np.asarray(params, dtype=np.float64).reshape(-1)
-        if params.size != self.n_params:
-            raise ValueError(
-                f"expected {self.n_params} parameters, got {params.size}")
+        # Imported lazily: repro.backends pulls in the gate modules of this
+        # package, so a module-level import would be circular.  Input
+        # validation lives in SimulationBackend.validate_state/params.
+        from repro.backends import get_backend
 
-        intermediates: List[np.ndarray] = []
-        current = state
-        for op in self.ops:
-            if return_intermediate:
-                intermediates.append(current)
-            matrix = self.op_matrix(op, params)
-            current = apply_matrix(current, matrix, op.qubits, self.n_qubits)
-        if return_intermediate:
-            return current, intermediates
-        return current
+        return get_backend(backend).run(self, state, params,
+                                        return_intermediate=return_intermediate)
+
+    def run_batched(self, states: np.ndarray,
+                    params: Optional[np.ndarray] = None,
+                    backend=None) -> np.ndarray:
+        """Apply the circuit to a ``(batch, 2**n_qubits)`` stack of states.
+
+        ``params`` is a shared vector or, on backends advertising
+        ``batched_params``, a ``(batch, n_params)`` matrix.  Backends with
+        ``batched_states`` (e.g. ``"einsum"``) execute the whole stack as
+        vectorised contractions; others fall back to a loop.
+        """
+        from repro.backends import get_backend
+
+        return get_backend(backend).run_batched(self, states, params)
 
     def depth_estimate(self) -> int:
         """Greedy depth estimate: gates on disjoint qubits share a layer."""

@@ -9,7 +9,7 @@ in :mod:`repro.quantum` follow this convention.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +33,12 @@ GATES: Dict[str, np.ndarray] = {
                       [0, 1, 0, 0],
                       [0, 0, 0, 1]], dtype=np.complex128),
 }
+
+# Freeze the canonical matrices: caches key off their identity, so in-place
+# mutation would silently serve stale results.
+for _gate_matrix in GATES.values():
+    _gate_matrix.setflags(write=False)
+del _gate_matrix
 
 
 def is_unitary(matrix: np.ndarray, atol: float = 1e-10) -> bool:
@@ -125,15 +131,26 @@ def _apply_two_qubit(state: np.ndarray, matrix: np.ndarray,
     mid = 1 << (high - low - 1)
     right = 1 << (n_qubits - 1 - high)
     tensor = state.reshape(left, 2, mid, 2, right)
-    # Map the (low-axis bit, high-axis bit) pair onto the gate's basis index.
+    blocks = [tensor[:, a, :, b, :] for a in (0, 1) for b in (0, 1)]
+    out = np.empty_like(tensor)
+    terms = _fixed_two_qubit_terms(matrix, first < second)
+    if terms is not None:
+        for a in (0, 1):
+            for b in (0, 1):
+                acc = None
+                for block_index, coeff in terms[(a << 1) | b]:
+                    term = coeff * blocks[block_index]
+                    acc = term if acc is None else acc + term
+                out[:, a, :, b, :] = 0.0 if acc is None else acc
+        return out.reshape(-1)
+    # Parameterised matrices are fresh arrays: scan and accumulate in one
+    # pass, exactly the pre-cache hot path.
     if first < second:
         def gate_index(low_bit, high_bit):
             return (low_bit << 1) | high_bit
     else:
         def gate_index(low_bit, high_bit):
             return (high_bit << 1) | low_bit
-    blocks = [tensor[:, a, :, b, :] for a in (0, 1) for b in (0, 1)]
-    out = np.empty_like(tensor)
     for a in (0, 1):
         for b in (0, 1):
             row = gate_index(a, b)
@@ -147,3 +164,46 @@ def _apply_two_qubit(state: np.ndarray, matrix: np.ndarray,
                     acc = term if acc is None else acc + term
             out[:, a, :, b, :] = 0.0 if acc is None else acc
     return out.reshape(-1)
+
+
+# The module-level GATES matrices are immortal and frozen read-only, so
+# their ids are stable cache keys for the memoised term structures.
+_FIXED_GATE_IDS = frozenset(id(m) for m in GATES.values())
+_FIXED_GATE_TERMS: Dict[Tuple[int, bool],
+                        Tuple[Tuple[Tuple[int, complex], ...], ...]] = {}
+
+
+def _fixed_two_qubit_terms(matrix: np.ndarray, low_is_first: bool):
+    """Memoised non-zero term structure of a fixed 4x4 gate on an axis pair.
+
+    ``terms[(a << 1) | b]`` lists ``(input_block_index, coefficient)`` pairs
+    for the output block with low-axis bit ``a`` and high-axis bit ``b``,
+    already skipping zero entries — so the sparsity scan of CNOT/CZ/SWAP
+    happens once per (gate, axis order) instead of per application.
+    Returns ``None`` for matrices that are not the canonical ``GATES``
+    constants (e.g. parameterised gates); ``low_is_first`` records whether
+    the gate's more significant qubit is the lower state axis.
+    """
+    key = (id(matrix), low_is_first)
+    if key[0] not in _FIXED_GATE_IDS:
+        return None
+    terms = _FIXED_GATE_TERMS.get(key)
+    if terms is None:
+        entries = []
+        for a in (0, 1):
+            for b in (0, 1):
+                if low_is_first:
+                    row = (a << 1) | b
+                else:
+                    row = (b << 1) | a
+                cell = []
+                for c in (0, 1):
+                    for d in (0, 1):
+                        column = (c << 1) | d if low_is_first else (d << 1) | c
+                        coeff = matrix[row, column]
+                        if coeff != 0:
+                            cell.append(((c << 1) | d, complex(coeff)))
+                entries.append(tuple(cell))
+        terms = tuple(entries)
+        _FIXED_GATE_TERMS[key] = terms
+    return terms

@@ -15,7 +15,7 @@ ring of controlled ``CU3`` gates, each carrying three parameters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -124,6 +124,78 @@ def crx_derivatives(params: Sequence[float]) -> List[np.ndarray]:
     return [d]
 
 
+# --------------------------------------------------------------------------- #
+# vectorised constructors: per-parameter value arrays -> (batch, 2^k, 2^k)
+#
+# These are the batched twins of the scalar matrix functions above (kept in
+# this module so each gate's unitary has a single source of truth); the
+# einsum backend uses them to build a whole stack of gate matrices without a
+# Python loop when executing batched parameter sweeps.
+# --------------------------------------------------------------------------- #
+def rx_stack(theta: np.ndarray) -> np.ndarray:
+    """Batched :func:`rx_matrix` for an array of angles."""
+    theta = np.asarray(theta, dtype=np.float64)
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    m = np.empty(theta.shape + (2, 2), dtype=np.complex128)
+    m[..., 0, 0] = c
+    m[..., 0, 1] = -1j * s
+    m[..., 1, 0] = -1j * s
+    m[..., 1, 1] = c
+    return m
+
+
+def ry_stack(theta: np.ndarray) -> np.ndarray:
+    """Batched :func:`ry_matrix` for an array of angles."""
+    theta = np.asarray(theta, dtype=np.float64)
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    m = np.empty(theta.shape + (2, 2), dtype=np.complex128)
+    m[..., 0, 0] = c
+    m[..., 0, 1] = -s
+    m[..., 1, 0] = s
+    m[..., 1, 1] = c
+    return m
+
+
+def rz_stack(theta: np.ndarray) -> np.ndarray:
+    """Batched :func:`rz_matrix` for an array of angles."""
+    theta = np.asarray(theta, dtype=np.float64)
+    m = np.zeros(theta.shape + (2, 2), dtype=np.complex128)
+    m[..., 0, 0] = np.exp(-0.5j * theta)
+    m[..., 1, 1] = np.exp(0.5j * theta)
+    return m
+
+
+def u3_stack(theta: np.ndarray, phi: np.ndarray, lam: np.ndarray) -> np.ndarray:
+    """Batched :func:`u3_matrix` for arrays of (theta, phi, lam)."""
+    theta = np.asarray(theta, dtype=np.float64)
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    m = np.empty(theta.shape + (2, 2), dtype=np.complex128)
+    m[..., 0, 0] = c
+    m[..., 0, 1] = -np.exp(1j * lam) * s
+    m[..., 1, 0] = np.exp(1j * phi) * s
+    m[..., 1, 1] = np.exp(1j * (phi + lam)) * c
+    return m
+
+
+def controlled_stack(block: np.ndarray) -> np.ndarray:
+    """Embed a ``(batch, 2, 2)`` block as the 11-block of a controlled gate."""
+    out = np.zeros(block.shape[:-2] + (4, 4), dtype=np.complex128)
+    out[..., 0, 0] = 1.0
+    out[..., 1, 1] = 1.0
+    out[..., 2:, 2:] = block
+    return out
+
+
+def cu3_stack(theta: np.ndarray, phi: np.ndarray, lam: np.ndarray) -> np.ndarray:
+    """Batched :func:`cu3_matrix`."""
+    return controlled_stack(u3_stack(theta, phi, lam))
+
+
+def crx_stack(theta: np.ndarray) -> np.ndarray:
+    """Batched :func:`crx_matrix`."""
+    return controlled_stack(rx_stack(theta))
+
+
 @dataclass(frozen=True)
 class ParametricGate:
     """Description of a parameterised gate family.
@@ -140,6 +212,10 @@ class ParametricGate:
         ``params -> unitary matrix``.
     derivative_fn:
         ``params -> [d(unitary)/d(param_i)]``.
+    stack_fn:
+        Optional vectorised constructor ``(*param_columns) -> (batch, 2^k,
+        2^k)`` building one matrix per row of a parameter batch; ``None``
+        falls back to a per-row :attr:`matrix_fn` loop.
     """
 
     name: str
@@ -147,6 +223,7 @@ class ParametricGate:
     n_params: int
     matrix_fn: Callable[[Sequence[float]], np.ndarray]
     derivative_fn: Callable[[Sequence[float]], List[np.ndarray]]
+    stack_fn: Optional[Callable[..., np.ndarray]] = None
 
     def matrix(self, params: Sequence[float]) -> np.ndarray:
         if len(params) != self.n_params:
@@ -160,12 +237,24 @@ class ParametricGate:
                              f"got {len(params)}")
         return self.derivative_fn(params)
 
+    def matrix_stack(self, columns: Sequence[np.ndarray]) -> np.ndarray:
+        """One gate matrix per batch row, given per-parameter value arrays."""
+        if len(columns) != self.n_params:
+            raise ValueError(f"{self.name} expects {self.n_params} parameter "
+                             f"columns, got {len(columns)}")
+        if self.stack_fn is not None:
+            return self.stack_fn(*columns)
+        batch = len(columns[0]) if columns else 0
+        return np.stack([self.matrix_fn([float(column[row])
+                                         for column in columns])
+                         for row in range(batch)])
+
 
 PARAMETRIC_GATES: Dict[str, ParametricGate] = {
-    "RX": ParametricGate("RX", 1, 1, rx_matrix, rx_derivatives),
-    "RY": ParametricGate("RY", 1, 1, ry_matrix, ry_derivatives),
-    "RZ": ParametricGate("RZ", 1, 1, rz_matrix, rz_derivatives),
-    "U3": ParametricGate("U3", 1, 3, u3_matrix, u3_derivatives),
-    "CU3": ParametricGate("CU3", 2, 3, cu3_matrix, cu3_derivatives),
-    "CRX": ParametricGate("CRX", 2, 1, crx_matrix, crx_derivatives),
+    "RX": ParametricGate("RX", 1, 1, rx_matrix, rx_derivatives, rx_stack),
+    "RY": ParametricGate("RY", 1, 1, ry_matrix, ry_derivatives, ry_stack),
+    "RZ": ParametricGate("RZ", 1, 1, rz_matrix, rz_derivatives, rz_stack),
+    "U3": ParametricGate("U3", 1, 3, u3_matrix, u3_derivatives, u3_stack),
+    "CU3": ParametricGate("CU3", 2, 3, cu3_matrix, cu3_derivatives, cu3_stack),
+    "CRX": ParametricGate("CRX", 2, 1, crx_matrix, crx_derivatives, crx_stack),
 }

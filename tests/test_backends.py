@@ -1,0 +1,438 @@
+"""Backend subsystem tests: engine parity, registry behaviour, model plumbing.
+
+The vectorised :class:`EinsumBatchBackend` must agree with the bit-exact
+:class:`NumpyLoopBackend` to 1e-10 on random circuits over 1-6 qubits,
+including the fixed two-qubit gates (CNOT/CZ/SWAP) and the parameterised
+U3/CU3 family, in every execution mode (single state, batched states,
+batched parameters, adjoint intermediates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    BACKEND_ENV_VAR,
+    DuplicateBackendError,
+    EinsumBatchBackend,
+    NumpyLoopBackend,
+    UnknownBackendError,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.core.config import QuGeoVQCConfig
+from repro.core.qubatch import QuBatchVQC
+from repro.core.vqc_model import QuGeoVQC
+from repro.quantum.autodiff import (
+    circuit_gradients,
+    finite_difference_gradients,
+    parameter_shift_gradients,
+)
+from repro.quantum.circuit import ParameterizedCircuit
+
+ATOL = 1e-10
+
+FIXED_SINGLE = ("H", "X", "Y", "Z", "S", "T")
+FIXED_DOUBLE = ("CNOT", "CZ", "SWAP")
+PARAM_SINGLE = ("RX", "RY", "RZ", "U3")
+PARAM_DOUBLE = ("CU3", "CRX")
+
+
+def random_circuit(n_qubits: int, n_ops: int, rng) -> ParameterizedCircuit:
+    """A random mix of fixed and parameterised one/two-qubit gates."""
+    circuit = ParameterizedCircuit(n_qubits)
+    for _ in range(n_ops):
+        two_qubit = n_qubits >= 2 and rng.random() < 0.4
+        parametric = rng.random() < 0.5
+        if two_qubit:
+            name = rng.choice(PARAM_DOUBLE if parametric else FIXED_DOUBLE)
+            qubits = rng.choice(n_qubits, size=2, replace=False)
+        else:
+            name = rng.choice(PARAM_SINGLE if parametric else FIXED_SINGLE)
+            qubits = [rng.integers(n_qubits)]
+        if parametric:
+            circuit.add_parametric_gate(str(name), [int(q) for q in qubits])
+        else:
+            circuit.add_gate(str(name), [int(q) for q in qubits])
+    return circuit
+
+
+def random_states(n_qubits: int, batch: int, rng) -> np.ndarray:
+    states = (rng.normal(size=(batch, 2**n_qubits))
+              + 1j * rng.normal(size=(batch, 2**n_qubits)))
+    return states / np.linalg.norm(states, axis=1, keepdims=True)
+
+
+@pytest.fixture(scope="module")
+def loop():
+    return get_backend("numpy")
+
+
+@pytest.fixture(scope="module")
+def einsum():
+    return get_backend("einsum")
+
+
+# --------------------------------------------------------------------------- #
+# engine parity
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("n_qubits", [1, 2, 3, 4, 5, 6])
+def test_single_state_parity_random_circuits(n_qubits, loop, einsum):
+    rng = np.random.default_rng(100 + n_qubits)
+    for _ in range(4):
+        circuit = random_circuit(n_qubits, n_ops=18, rng=rng)
+        params = rng.normal(size=circuit.n_params)
+        state = random_states(n_qubits, 1, rng)[0]
+        expected = loop.run(circuit, state, params)
+        actual = einsum.run(circuit, state, params)
+        np.testing.assert_allclose(actual, expected, atol=ATOL)
+
+
+@pytest.mark.parametrize("n_qubits", [1, 3, 6])
+@pytest.mark.parametrize("batch", [1, 5, 8])
+def test_batched_state_parity(n_qubits, batch, loop, einsum):
+    rng = np.random.default_rng(200 + 10 * n_qubits + batch)
+    circuit = random_circuit(n_qubits, n_ops=15, rng=rng)
+    params = rng.normal(size=circuit.n_params)
+    states = random_states(n_qubits, batch, rng)
+    expected = loop.run_batched(circuit, states, params)
+    actual = einsum.run_batched(circuit, states, params)
+    assert actual.shape == (batch, 2**n_qubits)
+    np.testing.assert_allclose(actual, expected, atol=ATOL)
+
+
+@pytest.mark.parametrize("n_qubits", [2, 4, 6])
+def test_batched_params_parity(n_qubits, loop, einsum):
+    rng = np.random.default_rng(300 + n_qubits)
+    circuit = random_circuit(n_qubits, n_ops=12, rng=rng)
+    batch = 6
+    states = random_states(n_qubits, batch, rng)
+    param_matrix = rng.normal(size=(batch, circuit.n_params))
+    expected = np.stack([loop.run(circuit, state, row)
+                         for state, row in zip(states, param_matrix)])
+    actual = einsum.run_batched(circuit, states, param_matrix)
+    np.testing.assert_allclose(actual, expected, atol=ATOL)
+
+
+def test_fusion_of_adjacent_single_qubit_gates(loop, einsum):
+    """Chains of single-qubit gates on one wire are fused but still correct."""
+    rng = np.random.default_rng(7)
+    circuit = ParameterizedCircuit(3)
+    for name in ("H", "S", "T"):
+        circuit.add_gate(name, [0])
+    for name in ("RX", "RY", "RZ", "U3"):
+        circuit.add_parametric_gate(name, [1])
+    circuit.add_gate("CNOT", [0, 1])
+    for name in ("U3", "U3"):
+        circuit.add_parametric_gate(name, [2])
+    params = rng.normal(size=circuit.n_params)
+    state = random_states(3, 1, rng)[0]
+    np.testing.assert_allclose(einsum.run(circuit, state, params),
+                               loop.run(circuit, state, params), atol=ATOL)
+
+
+def test_fusion_can_be_disabled():
+    backend = EinsumBatchBackend(fuse_single_qubit_gates=False)
+    rng = np.random.default_rng(8)
+    circuit = random_circuit(3, n_ops=10, rng=rng)
+    params = rng.normal(size=circuit.n_params)
+    state = random_states(3, 1, rng)[0]
+    np.testing.assert_allclose(backend.run(circuit, state, params),
+                               get_backend("numpy").run(circuit, state, params),
+                               atol=ATOL)
+
+
+def test_intermediates_accept_single_row_param_matrix(loop, einsum):
+    """A (1, n_params) matrix is valid everywhere, incl. the adjoint path."""
+    rng = np.random.default_rng(19)
+    circuit = random_circuit(3, n_ops=8, rng=rng)
+    params = rng.normal(size=(1, circuit.n_params))
+    state = random_states(3, 1, rng)[0]
+    out_a, inter_a = loop.run(circuit, state, params[0],
+                              return_intermediate=True)
+    out_b, inter_b = einsum.run(circuit, state, params,
+                                return_intermediate=True)
+    np.testing.assert_allclose(out_b, out_a, atol=ATOL)
+    np.testing.assert_allclose(inter_b[-1], inter_a[-1], atol=ATOL)
+
+
+def test_matrix_stack_fallback_loop_matches_vectorised():
+    """ParametricGate.matrix_stack without stack_fn (per-row loop) agrees."""
+    from dataclasses import replace
+
+    from repro.quantum.parametric import PARAMETRIC_GATES
+
+    rng = np.random.default_rng(20)
+    for name in ("RZ", "U3", "CU3"):
+        gate = PARAMETRIC_GATES[name]
+        columns = tuple(rng.normal(size=5) for _ in range(gate.n_params))
+        vectorised = gate.matrix_stack(columns)
+        fallback = replace(gate, stack_fn=None).matrix_stack(columns)
+        np.testing.assert_allclose(vectorised, fallback, atol=ATOL)
+
+
+def test_intermediate_states_parity(loop, einsum):
+    rng = np.random.default_rng(9)
+    circuit = random_circuit(4, n_ops=12, rng=rng)
+    params = rng.normal(size=circuit.n_params)
+    state = random_states(4, 1, rng)[0]
+    out_a, inter_a = loop.run(circuit, state, params, return_intermediate=True)
+    out_b, inter_b = einsum.run(circuit, state, params, return_intermediate=True)
+    np.testing.assert_allclose(out_b, out_a, atol=ATOL)
+    assert len(inter_a) == len(inter_b) == len(circuit.ops)
+    for a, b in zip(inter_a, inter_b):
+        np.testing.assert_allclose(b, a, atol=ATOL)
+
+
+def test_expectation_parity(loop, einsum):
+    rng = np.random.default_rng(10)
+    circuit = random_circuit(4, n_ops=10, rng=rng)
+    params = rng.normal(size=circuit.n_params)
+    states = random_states(4, 5, rng)
+    expected = loop.expectation_batched(circuit, states, params, qubits=(0, 2))
+    actual = einsum.expectation_batched(circuit, states, params, qubits=(0, 2))
+    np.testing.assert_allclose(actual, expected, atol=ATOL)
+    np.testing.assert_allclose(einsum.expectation(circuit, states[0], params),
+                               loop.expectation(circuit, states[0], params),
+                               atol=ATOL)
+
+
+def test_circuit_run_accepts_backend_name():
+    rng = np.random.default_rng(11)
+    circuit = random_circuit(3, n_ops=8, rng=rng)
+    params = rng.normal(size=circuit.n_params)
+    state = random_states(3, 1, rng)[0]
+    np.testing.assert_allclose(circuit.run(state, params, backend="einsum"),
+                               circuit.run(state, params, backend="numpy"),
+                               atol=ATOL)
+    states = random_states(3, 4, rng)
+    np.testing.assert_allclose(circuit.run_batched(states, params,
+                                                   backend="einsum"),
+                               circuit.run_batched(states, params,
+                                                   backend="numpy"),
+                               atol=ATOL)
+
+
+def test_einsum_rejects_bad_shapes(einsum):
+    circuit = ParameterizedCircuit(2)
+    circuit.add_parametric_gate("U3", [0])
+    states = random_states(2, 3, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        einsum.run_batched(circuit, states[0])  # not 2-D
+    with pytest.raises(ValueError):
+        einsum.run_batched(circuit, states, np.zeros((2, circuit.n_params)))
+    with pytest.raises(ValueError):
+        einsum.run_batched(circuit, states, np.zeros((3, circuit.n_params + 1)))
+    with pytest.raises(ValueError):
+        einsum.run(circuit, np.zeros(3))
+
+
+# --------------------------------------------------------------------------- #
+# gradient parity
+# --------------------------------------------------------------------------- #
+def _z0_loss_head(n_qubits):
+    signs = 1.0 - 2.0 * ((np.arange(2**n_qubits) >> (n_qubits - 1)) & 1)
+
+    def loss_head(psi):
+        loss = float(np.dot(signs, np.abs(psi) ** 2))
+        return loss, signs * psi
+
+    return loss_head
+
+
+def test_adjoint_gradients_match_across_backends():
+    rng = np.random.default_rng(12)
+    circuit = random_circuit(4, n_ops=12, rng=rng)
+    params = rng.normal(size=circuit.n_params)
+    state = random_states(4, 1, rng)[0]
+    loss_head = _z0_loss_head(4)
+    loss_a, grads_a = circuit_gradients(circuit, params, state, loss_head,
+                                        backend="numpy")
+    loss_b, grads_b = circuit_gradients(circuit, params, state, loss_head,
+                                        backend="einsum")
+    assert abs(loss_a - loss_b) < ATOL
+    np.testing.assert_allclose(grads_b, grads_a, atol=ATOL)
+    _, grads_fd = finite_difference_gradients(circuit, params, state, loss_head)
+    np.testing.assert_allclose(grads_b, grads_fd, atol=1e-5)
+
+
+def test_parameter_shift_chunked_sweep_matches_loop(monkeypatch):
+    """The stacked sweep stays correct when forced into tiny memory chunks."""
+    import repro.quantum.autodiff as autodiff
+
+    rng = np.random.default_rng(16)
+    circuit = ParameterizedCircuit(3)
+    for q in range(3):
+        circuit.add_parametric_gate("RY", [q])
+    params = rng.normal(size=circuit.n_params)
+    state = random_states(3, 1, rng)[0]
+    loss_head = _z0_loss_head(3)
+    _, grads_whole = parameter_shift_gradients(circuit, params, state,
+                                               loss_head, backend="einsum")
+    monkeypatch.setattr(autodiff, "_SHIFT_SWEEP_MAX_ELEMENTS", 1)
+    _, grads_chunked = parameter_shift_gradients(circuit, params, state,
+                                                 loss_head, backend="einsum")
+    np.testing.assert_allclose(grads_chunked, grads_whole, atol=ATOL)
+
+
+def test_adjoint_capability_enforced():
+    class NoAdjoint(NumpyLoopBackend):
+        name = "no-adjoint-test"
+        capabilities = NumpyLoopBackend.capabilities.__class__(adjoint=False)
+
+    rng = np.random.default_rng(17)
+    circuit = ParameterizedCircuit(2)
+    circuit.add_parametric_gate("RY", [0])
+    params = rng.normal(size=circuit.n_params)
+    state = random_states(2, 1, rng)[0]
+    with pytest.raises(ValueError, match="adjoint"):
+        circuit_gradients(circuit, params, state, _z0_loss_head(2),
+                          backend=NoAdjoint())
+
+
+def test_parameter_shift_stacked_sweep_matches_loop():
+    rng = np.random.default_rng(13)
+    circuit = ParameterizedCircuit(3)
+    for q in range(3):
+        circuit.add_parametric_gate("RY", [q])
+    circuit.add_gate("CNOT", [0, 1])
+    circuit.add_parametric_gate("RX", [2])
+    params = rng.normal(size=circuit.n_params)
+    state = random_states(3, 1, rng)[0]
+    loss_head = _z0_loss_head(3)
+    loss_a, grads_a = parameter_shift_gradients(circuit, params, state,
+                                                loss_head, backend="numpy")
+    loss_b, grads_b = parameter_shift_gradients(circuit, params, state,
+                                                loss_head, backend="einsum")
+    assert abs(loss_a - loss_b) < ATOL
+    np.testing.assert_allclose(grads_b, grads_a, atol=ATOL)
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+def test_known_backends_registered():
+    names = available_backends()
+    assert "numpy" in names and "einsum" in names
+    assert isinstance(get_backend("numpy"), NumpyLoopBackend)
+    assert isinstance(get_backend("einsum"), EinsumBatchBackend)
+
+
+def test_get_backend_unknown_name():
+    with pytest.raises(UnknownBackendError) as excinfo:
+        get_backend("definitely-not-a-backend")
+    message = str(excinfo.value)
+    assert "definitely-not-a-backend" in message
+    assert "numpy" in message  # the error lists what *is* registered
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(DuplicateBackendError):
+        register_backend("numpy", NumpyLoopBackend)
+    # replace=True is the explicit override escape hatch.
+    register_backend("numpy", NumpyLoopBackend, replace=True)
+    assert isinstance(get_backend("numpy"), NumpyLoopBackend)
+
+
+def test_register_and_unregister_custom_backend():
+    class Custom(NumpyLoopBackend):
+        name = "custom-test"
+
+    register_backend("custom-test", Custom)
+    try:
+        assert isinstance(get_backend("custom-test"), Custom)
+        # Instances are cached per name.
+        assert get_backend("custom-test") is get_backend("custom-test")
+    finally:
+        unregister_backend("custom-test")
+    with pytest.raises(UnknownBackendError):
+        get_backend("custom-test")
+    with pytest.raises(UnknownBackendError):
+        unregister_backend("custom-test")
+
+
+def test_register_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        register_backend("", NumpyLoopBackend)
+    with pytest.raises(TypeError):
+        register_backend("not-callable", object())
+
+
+def test_get_backend_passthrough_and_bad_spec():
+    instance = EinsumBatchBackend()
+    assert get_backend(instance) is instance
+    with pytest.raises(TypeError):
+        get_backend(123)
+
+
+def test_env_var_selects_default(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV_VAR, "einsum")
+    assert default_backend_name() == "einsum"
+    assert isinstance(get_backend(None), EinsumBatchBackend)
+    monkeypatch.delenv(BACKEND_ENV_VAR)
+    assert default_backend_name() == "numpy"
+    assert isinstance(get_backend(None), NumpyLoopBackend)
+
+
+# --------------------------------------------------------------------------- #
+# model plumbing
+# --------------------------------------------------------------------------- #
+def _small_config(**kwargs) -> QuGeoVQCConfig:
+    return QuGeoVQCConfig(n_groups=1, qubits_per_group=4, n_blocks=2,
+                          decoder="layer", output_shape=(4, 4), **kwargs)
+
+
+def test_qugeovqc_backend_parity():
+    rng = np.random.default_rng(14)
+    seismic = [rng.normal(size=16) for _ in range(3)]
+    model_loop = QuGeoVQC(_small_config(backend="numpy"), rng=3)
+    model_einsum = QuGeoVQC(_small_config(backend="einsum"), rng=3)
+    assert isinstance(model_loop.backend, NumpyLoopBackend)
+    assert isinstance(model_einsum.backend, EinsumBatchBackend)
+    for sample in seismic:
+        np.testing.assert_allclose(model_einsum.predict(sample),
+                                   model_loop.predict(sample), atol=ATOL)
+    # The batched prediction path (one stacked contraction) agrees too.
+    np.testing.assert_allclose(model_einsum.predict_batch(seismic),
+                               model_loop.predict_batch(seismic), atol=ATOL)
+    target = rng.normal(size=(4, 4))
+    loss_a, grads_a = model_loop.loss_and_gradients(seismic[0], target)
+    loss_b, grads_b = model_einsum.loss_and_gradients(seismic[0], target)
+    assert abs(loss_a - loss_b) < ATOL
+    np.testing.assert_allclose(grads_b["theta"], grads_a["theta"], atol=ATOL)
+
+
+def test_qubatchvqc_backend_parity():
+    rng = np.random.default_rng(15)
+    config_kwargs = dict(n_batch_qubits=1)
+    seismic = [rng.normal(size=16) for _ in range(2)]
+    targets = [rng.normal(size=(4, 4)) for _ in range(2)]
+    model_loop = QuBatchVQC(_small_config(backend="numpy", **config_kwargs),
+                            rng=4)
+    model_einsum = QuBatchVQC(_small_config(backend="einsum", **config_kwargs),
+                              rng=4)
+    np.testing.assert_allclose(model_einsum.predict_batch(seismic),
+                               model_loop.predict_batch(seismic), atol=ATOL)
+    loss_a, grads_a = model_loop.loss_and_gradients(seismic, targets)
+    loss_b, grads_b = model_einsum.loss_and_gradients(seismic, targets)
+    assert abs(loss_a - loss_b) < ATOL
+    np.testing.assert_allclose(grads_b["theta"], grads_a["theta"], atol=ATOL)
+
+
+def test_explicit_backend_argument_overrides_config():
+    model = QuGeoVQC(_small_config(backend="numpy"), rng=5, backend="einsum")
+    assert isinstance(model.backend, EinsumBatchBackend)
+
+
+def test_config_rejects_non_string_backend():
+    with pytest.raises(ValueError):
+        _small_config(backend=123)
+
+
+def test_unknown_config_backend_fails_at_model_build():
+    with pytest.raises(UnknownBackendError):
+        QuGeoVQC(_small_config(backend="no-such-engine"), rng=0)
