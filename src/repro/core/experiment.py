@@ -61,6 +61,20 @@ class ExperimentResult:
         return float(self.metrics.get(key, default))
 
 
+def final_metric(outcome: TrainingResult, key: str) -> float:
+    """Final-evaluation metric of a run, regardless of the split label.
+
+    Trainers prefix ``final_metrics`` keys with the split they evaluated on
+    (``test_`` normally, ``train_`` when no test set was given); experiment
+    tables only care about the value.
+    """
+    for prefix in ("test", "train"):
+        name = f"{prefix}_{key}"
+        if name in outcome.final_metrics:
+            return float(outcome.final_metrics[name])
+    raise KeyError(f"no final metric {key!r} in {sorted(outcome.final_metrics)}")
+
+
 def evaluate_model(model: Union[QuGeoVQC, QuBatchVQC, ClassicalFWIModel],
                    dataset: FWIDataset) -> Dict[str, float]:
     """SSIM / MSE of ``model`` on a scaled dataset."""
@@ -142,8 +156,8 @@ def compare_scaling_methods(scaled: Dict[str, Tuple[FWIDataset, FWIDataset]],
         results.append(ExperimentResult(
             model=model.name,
             dataset=method,
-            metrics={"ssim": outcome.final_metrics["test_ssim"],
-                     "mse": outcome.final_metrics["test_mse"],
+            metrics={"ssim": final_metric(outcome, "ssim"),
+                     "mse": final_metric(outcome, "mse"),
                      "parameters": model.num_parameters()},
             extras={"history_ssim": outcome.history("test_ssim"),
                     "history_mse": outcome.history("test_mse"),
@@ -176,8 +190,8 @@ def compare_decoders(scaled: Dict[str, Tuple[FWIDataset, FWIDataset]],
             results.append(ExperimentResult(
                 model=model.name,
                 dataset=method,
-                metrics={"ssim": outcome.final_metrics["test_ssim"],
-                         "mse": outcome.final_metrics["test_mse"],
+                metrics={"ssim": final_metric(outcome, "ssim"),
+                         "mse": final_metric(outcome, "mse"),
                          "parameters": model.num_parameters()},
                 extras={"result": outcome}))
     return results
@@ -210,8 +224,8 @@ def qubatch_study(train_set: FWIDataset, test_set: FWIDataset,
         results.append(ExperimentResult(
             model=getattr(model, "name", "Q-M-LY"),
             dataset="Q-D-FW",
-            metrics={"ssim": outcome.final_metrics["test_ssim"],
-                     "mse": outcome.final_metrics["test_mse"],
+            metrics={"ssim": final_metric(outcome, "ssim"),
+                     "mse": final_metric(outcome, "mse"),
                      "batch": 2**n_batch_qubits if n_batch_qubits else 0,
                      "extra_qubits": n_batch_qubits},
             extras={"result": outcome}))
@@ -238,8 +252,8 @@ def quantum_vs_classical(scaled: Dict[str, Tuple[FWIDataset, FWIDataset]],
             outcome = ClassicalTrainer(training).train(model, train_set, test_set)
             results.append(ExperimentResult(
                 model=name, dataset=method,
-                metrics={"ssim": outcome.final_metrics["test_ssim"],
-                         "mse": outcome.final_metrics["test_mse"],
+                metrics={"ssim": final_metric(outcome, "ssim"),
+                         "mse": final_metric(outcome, "mse"),
                          "parameters": model.num_parameters()},
                 extras={"result": outcome}))
 
@@ -258,8 +272,8 @@ def quantum_vs_classical(scaled: Dict[str, Tuple[FWIDataset, FWIDataset]],
             outcome = QuantumTrainer(training).train(model, train_set, test_set)
             results.append(ExperimentResult(
                 model=label, dataset=method,
-                metrics={"ssim": outcome.final_metrics["test_ssim"],
-                         "mse": outcome.final_metrics["test_mse"],
+                metrics={"ssim": final_metric(outcome, "ssim"),
+                         "mse": final_metric(outcome, "mse"),
                          "parameters": model.num_parameters()},
                 extras={"result": outcome}))
     return results

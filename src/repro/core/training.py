@@ -35,7 +35,10 @@ class TrainingResult:
     logger:
         Per-epoch metric history (``train_loss``, ``test_ssim``, ``test_mse``).
     final_metrics:
-        Metrics of the trained model on the evaluation set.
+        Metrics of the trained model on the evaluation set.  Keys are
+        prefixed with the split they were computed on: ``test_ssim`` /
+        ``test_mse`` when a test set was provided, ``train_ssim`` /
+        ``train_mse`` when the trainer had to fall back to the training data.
     """
 
     model: object
@@ -98,6 +101,9 @@ class QuantumTrainer:
 
         n_samples = seismic.shape[0]
         for epoch in range(config.epochs):
+            # Capture before the scheduler advances so the log records the
+            # LR the optimiser actually used for this epoch's updates.
+            epoch_lr = optimizer.lr
             order = rng.permutation(n_samples)
             epoch_loss = 0.0
             n_batches = 0
@@ -119,7 +125,7 @@ class QuantumTrainer:
                 n_batches += 1
             scheduler.step()
             metrics = {"train_loss": epoch_loss / max(1, n_batches),
-                       "lr": optimizer.lr}
+                       "lr": epoch_lr}
             if test_arrays is not None and (
                     (epoch + 1) % config.eval_every == 0
                     or epoch == config.epochs - 1):
@@ -128,13 +134,15 @@ class QuantumTrainer:
 
         final_metrics = (self._evaluate(model, *test_arrays)
                          if test_arrays is not None
-                         else self._evaluate(model, seismic, velocity))
+                         else self._evaluate(model, seismic, velocity,
+                                             split="train"))
         return TrainingResult(model=model, logger=logger,
                               final_metrics=final_metrics)
 
     @staticmethod
     def _evaluate(model: Union[QuGeoVQC, QuBatchVQC],
-                  seismic: np.ndarray, velocity: np.ndarray) -> Dict[str, float]:
+                  seismic: np.ndarray, velocity: np.ndarray,
+                  split: str = "test") -> Dict[str, float]:
         if isinstance(model, QuBatchVQC):
             predictions = []
             capacity = model.batch_capacity
@@ -147,7 +155,8 @@ class QuantumTrainer:
         else:
             predictions = model.predict_batch(list(seismic))
         metrics = evaluate_predictions(predictions, velocity)
-        return {"test_ssim": metrics["ssim"], "test_mse": metrics["mse"]}
+        return {f"{split}_ssim": metrics["ssim"],
+                f"{split}_mse": metrics["mse"]}
 
 
 class ClassicalTrainer:
@@ -177,6 +186,9 @@ class ClassicalTrainer:
 
         n_samples = seismic.shape[0]
         for epoch in range(config.epochs):
+            # Capture before the scheduler advances so the log records the
+            # LR the optimiser actually used for this epoch's updates.
+            epoch_lr = optimizer.lr
             order = rng.permutation(n_samples)
             epoch_loss = 0.0
             n_batches = 0
@@ -195,7 +207,7 @@ class ClassicalTrainer:
                 n_batches += 1
             scheduler.step()
             metrics = {"train_loss": epoch_loss / max(1, n_batches),
-                       "lr": optimizer.lr}
+                       "lr": epoch_lr}
             if test_arrays is not None and (
                     (epoch + 1) % config.eval_every == 0
                     or epoch == config.epochs - 1):
@@ -204,13 +216,15 @@ class ClassicalTrainer:
 
         final_metrics = (self._evaluate(model, *test_arrays)
                          if test_arrays is not None
-                         else self._evaluate(model, seismic, velocity))
+                         else self._evaluate(model, seismic, velocity,
+                                             split="train"))
         return TrainingResult(model=model, logger=logger,
                               final_metrics=final_metrics)
 
     @staticmethod
     def _evaluate(model: ClassicalFWIModel, seismic: np.ndarray,
-                  velocity: np.ndarray) -> Dict[str, float]:
+                  velocity: np.ndarray, split: str = "test") -> Dict[str, float]:
         predictions = model.predict_velocity(seismic)
         metrics = evaluate_predictions(predictions, velocity)
-        return {"test_ssim": metrics["ssim"], "test_mse": metrics["mse"]}
+        return {f"{split}_ssim": metrics["ssim"],
+                f"{split}_mse": metrics["mse"]}

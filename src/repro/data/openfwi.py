@@ -21,7 +21,7 @@ from typing import Optional
 import numpy as np
 
 from repro.data.dataset import FWIDataset, FWISample
-from repro.seismic.acoustic2d import SimulationConfig
+from repro.seismic.acoustic2d import SimulationConfig, stable_time_step
 from repro.seismic.boundary import SpongeBoundary
 from repro.seismic.forward_modeling import ForwardModel
 from repro.seismic.survey import SurveyGeometry
@@ -39,6 +39,12 @@ class OpenFWIConfig:
     Defaults follow the FlatVelA description in the paper: 70x70 velocity
     maps, 5 sources, 70 receivers, 1000 recorded time steps, a 15 Hz Ricker
     source, velocities between 1500 and 4500 m/s with 2-5 flat layers.
+
+    ``chunk_size`` bounds how many velocity maps :meth:`SyntheticOpenFWI.build`
+    propagates per batched forward-modelling call.  Each chunk holds
+    ``chunk_size * n_sources`` wavefields in memory at once, so small chunks
+    keep the working set cache-resident; large chunks only help on machines
+    with large caches.
     """
 
     n_samples: int = 500
@@ -52,12 +58,15 @@ class OpenFWIConfig:
     model_config: Optional[VelocityModelConfig] = None
     boundary_width: int = 12
     spatial_order: int = 4
+    chunk_size: int = 4
 
     def __post_init__(self) -> None:
         if self.n_samples <= 0:
             raise ValueError("n_samples must be positive")
         if self.n_time_steps <= 0:
             raise ValueError("n_time_steps must be positive")
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
         if self.model_config is None:
             self.model_config = VelocityModelConfig(shape=tuple(self.velocity_shape))
         elif tuple(self.model_config.shape) != tuple(self.velocity_shape):
@@ -77,12 +86,10 @@ class SyntheticOpenFWI:
         nz, nx = config.velocity_shape
         boundary = SpongeBoundary(
             width=min(config.boundary_width, max(1, min(nz, nx) // 3 - 1)))
-        sim = SimulationConfig(dx=config.dx, dz=config.dx, dt=0.001,
-                               n_steps=config.n_time_steps,
-                               spatial_order=config.spatial_order,
-                               boundary=boundary)
         # Pick a CFL-stable dt for the fastest velocity the generator can emit.
-        dt = sim.stable_dt(config.model_config.max_velocity)
+        dt = stable_time_step(config.model_config.max_velocity,
+                              dx=config.dx, dz=config.dx,
+                              spatial_order=config.spatial_order)
         sim = SimulationConfig(dx=config.dx, dz=config.dx, dt=dt,
                                n_steps=config.n_time_steps,
                                spatial_order=config.spatial_order,
@@ -103,27 +110,45 @@ class SyntheticOpenFWI:
         return random_velocity_models(count, self.config.model_config,
                                       family=self.config.family, rng=self._rng)
 
-    def simulate_sample(self, velocity: np.ndarray) -> FWISample:
-        """Forward-model one velocity map into a paired FWI sample."""
-        seismic = self._forward_model.model_shots(velocity)
-        metadata = {
+    def _sample_metadata(self) -> dict:
+        return {
             "family": self.config.family,
             "peak_frequency": self.config.peak_frequency,
             "n_time_steps": self.config.n_time_steps,
             "dx": self.config.dx,
         }
-        return FWISample(seismic=seismic, velocity=velocity, metadata=metadata)
+
+    def simulate_sample(self, velocity: np.ndarray) -> FWISample:
+        """Forward-model one velocity map into a paired FWI sample.
+
+        All shots of the survey are propagated in a single batched call.
+        """
+        seismic = self._forward_model.model_shots(velocity)
+        return FWISample(seismic=seismic, velocity=velocity,
+                         metadata=self._sample_metadata())
 
     def build(self, count: Optional[int] = None,
               progress: bool = False) -> FWIDataset:
-        """Generate a full dataset of ``count`` paired samples."""
+        """Generate a full dataset of ``count`` paired samples.
+
+        Velocity maps are forward-modelled ``config.chunk_size`` at a time
+        through :meth:`ForwardModel.model_shots_batch`, so one shared time
+        loop advances every shot of every map in the chunk.
+        """
         count = count or self.config.n_samples
         velocities = self.sample_velocities(count)
         samples = []
-        for index, velocity in enumerate(velocities):
-            samples.append(self.simulate_sample(velocity))
-            if progress and (index + 1) % 10 == 0:
-                print(f"[SyntheticOpenFWI] generated {index + 1}/{count} samples")
+        chunk = self.config.chunk_size
+        metadata = self._sample_metadata()
+        for start in range(0, count, chunk):
+            block = velocities[start:start + chunk]
+            seismic_block = self._forward_model.model_shots_batch(block)
+            for velocity, seismic in zip(block, seismic_block):
+                samples.append(FWISample(seismic=seismic, velocity=velocity,
+                                         metadata=dict(metadata)))
+                if progress and len(samples) % 10 == 0:
+                    print(f"[SyntheticOpenFWI] generated "
+                          f"{len(samples)}/{count} samples")
         return FWIDataset(samples, name=f"synthetic-openfwi-{self.config.family}")
 
 

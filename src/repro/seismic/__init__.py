@@ -11,8 +11,29 @@ families).
 from repro.seismic.wavelets import ricker_wavelet, dominant_frequency
 from repro.seismic.boundary import sponge_profile, SpongeBoundary
 from repro.seismic.survey import SurveyGeometry
-from repro.seismic.acoustic2d import AcousticSimulator2D, SimulationConfig
-from repro.seismic.forward_modeling import ForwardModel, forward_model_shot_gather
+from repro.seismic.acoustic2d import (
+    AcousticSimulator2D,
+    BatchedAcousticSimulator2D,
+    SimulationConfig,
+    stable_time_step,
+)
+from repro.seismic.propagators import (
+    PROPAGATOR_ENV_VAR,
+    DuplicatePropagatorError,
+    PropagatorError,
+    UnknownPropagatorError,
+    available_propagators,
+    default_propagator_name,
+    get_propagator,
+    register_propagator,
+    set_default_propagator,
+    unregister_propagator,
+)
+from repro.seismic.forward_modeling import (
+    ForwardModel,
+    forward_model_shot_gather,
+    normalize_per_shot,
+)
 from repro.seismic.velocity_models import (
     VelocityModelConfig,
     flat_layer_model,
@@ -29,9 +50,22 @@ __all__ = [
     "SpongeBoundary",
     "SurveyGeometry",
     "AcousticSimulator2D",
+    "BatchedAcousticSimulator2D",
     "SimulationConfig",
+    "stable_time_step",
+    "PROPAGATOR_ENV_VAR",
+    "DuplicatePropagatorError",
+    "PropagatorError",
+    "UnknownPropagatorError",
+    "available_propagators",
+    "default_propagator_name",
+    "get_propagator",
+    "register_propagator",
+    "set_default_propagator",
+    "unregister_propagator",
     "ForwardModel",
     "forward_model_shot_gather",
+    "normalize_per_shot",
     "VelocityModelConfig",
     "flat_layer_model",
     "curved_layer_model",

@@ -50,8 +50,17 @@ class SpongeBoundary:
     free_surface: bool = True
 
     def build_mask(self, shape) -> np.ndarray:
-        """Return the 2-D multiplicative damping mask for a ``shape`` grid."""
-        nz, nx = shape
+        """Return the 2-D multiplicative damping mask for a ``shape`` grid.
+
+        ``shape`` may carry leading batch axes (e.g. ``(n_shots, nz, nx)``
+        from the batched propagator); the mask is built on the trailing two
+        grid axes and returned as a 2-D array, so multiplying a batched
+        wavefield by it broadcasts the damping over every batch element.
+        """
+        if len(shape) < 2:
+            raise ValueError(
+                f"grid shape needs at least 2 dimensions, got {tuple(shape)}")
+        nz, nx = shape[-2], shape[-1]
         if self.width * 2 >= nx or (self.width >= nz if self.free_surface
                                     else self.width * 2 >= nz):
             raise ValueError(
@@ -72,6 +81,10 @@ class SpongeBoundary:
         return mask
 
     def apply(self, wavefield: np.ndarray, mask: np.ndarray) -> np.ndarray:
-        """Damp ``wavefield`` in place with a precomputed ``mask``."""
+        """Damp ``wavefield`` in place with a precomputed ``mask``.
+
+        The mask broadcasts over any leading batch axes of ``wavefield``
+        (``(..., nz, nx)``), so one 2-D mask damps a whole shot batch.
+        """
         wavefield *= mask
         return wavefield

@@ -5,6 +5,12 @@ paper): given a velocity map and an acquisition geometry, simulate the
 pressure wavefield of every source with the acoustic propagator and record
 it at every receiver.  The result has OpenFWI's layout
 ``(n_sources, n_time_steps, n_receivers)``.
+
+Shots are propagated through the engine selected from the
+:mod:`repro.seismic.propagators` registry — by default the batched engine,
+which advances every shot (and, on the multi-map path, several velocity
+models) in one shared time loop while matching the scalar reference to
+machine precision.
 """
 
 from __future__ import annotations
@@ -14,9 +20,25 @@ from typing import Optional
 
 import numpy as np
 
-from repro.seismic.acoustic2d import AcousticSimulator2D, SimulationConfig
+from repro.seismic.acoustic2d import SimulationConfig, stable_time_step
+from repro.seismic.propagators import PropagatorSpec, get_propagator
 from repro.seismic.survey import SurveyGeometry
 from repro.seismic.wavelets import ricker_wavelet
+
+
+def normalize_per_shot(data: np.ndarray) -> np.ndarray:
+    """Scale every shot gather by its own maximum absolute amplitude.
+
+    Operates on the trailing ``(n_steps, n_receivers)`` axes, so it accepts
+    both single-map ``(n_sources, n_steps, n_receivers)`` stacks and batched
+    ``(n_models, n_sources, n_steps, n_receivers)`` arrays.  Shots with zero
+    amplitude are left untouched instead of dividing by zero.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim < 2:
+        raise ValueError("expected gathers with trailing (time, receiver) axes")
+    peak = np.max(np.abs(data), axis=(-2, -1), keepdims=True)
+    return data / np.where(peak > 0.0, peak, 1.0)
 
 
 @dataclass
@@ -33,19 +55,31 @@ class ForwardModel:
     peak_frequency:
         Dominant frequency of the Ricker source wavelet in Hz.
     normalize:
-        If ``True``, each shot gather is scaled by its maximum absolute
-        amplitude so gathers from different velocity models are comparable.
+        If ``True``, each shot gather is scaled by its own maximum absolute
+        amplitude so gathers from different velocity models (and shots of
+        different strengths) are comparable.
+    propagator:
+        Propagation engine: ``None`` (registry default), a registered name
+        (``"scalar"``, ``"batched"``) or a factory callable — see
+        :func:`repro.seismic.propagators.get_propagator`.
     """
 
     survey: SurveyGeometry
     config: SimulationConfig = field(default_factory=SimulationConfig)
     peak_frequency: float = 15.0
     normalize: bool = True
+    propagator: PropagatorSpec = None
 
     def source_wavelet(self) -> np.ndarray:
         """Return the Ricker source wavelet used for every shot."""
         return ricker_wavelet(self.config.n_steps, self.config.dt,
                               self.peak_frequency)
+
+    def _check_width(self, velocity: np.ndarray) -> None:
+        if velocity.shape[-1] != self.survey.nx:
+            raise ValueError(
+                f"velocity width {velocity.shape[-1]} does not match survey "
+                f"nx {self.survey.nx}")
 
     def model_shots(self, velocity: np.ndarray) -> np.ndarray:
         """Simulate every shot of the survey over ``velocity``.
@@ -53,22 +87,61 @@ class ForwardModel:
         Returns an array of shape ``(n_sources, n_steps, n_receivers)``.
         """
         velocity = np.asarray(velocity, dtype=np.float64)
-        if velocity.shape[1] != self.survey.nx:
-            raise ValueError(
-                f"velocity width {velocity.shape[1]} does not match survey nx "
-                f"{self.survey.nx}")
-        simulator = AcousticSimulator2D(velocity, self.config)
-        wavelet = self.source_wavelet()
-        receivers = self.survey.receiver_positions()
-        gathers = []
-        for source in self.survey.source_positions():
-            gather = simulator.simulate_shot(source, wavelet, receivers)
-            gathers.append(gather)
-        data = np.stack(gathers)
+        if velocity.ndim != 2:
+            raise ValueError("velocity must be a 2-D map [depth, offset]")
+        self._check_width(velocity)
+        simulator = get_propagator(self.propagator)(velocity, self.config)
+        data = simulator.simulate_shots(self.survey.source_positions(),
+                                        self.source_wavelet(),
+                                        self.survey.receiver_positions())
         if self.normalize:
-            peak = np.max(np.abs(data))
-            if peak > 0:
-                data = data / peak
+            data = normalize_per_shot(data)
+        return data
+
+    def model_shots_batch(self, velocities: np.ndarray,
+                          chunk_size: Optional[int] = None) -> np.ndarray:
+        """Simulate the survey over a stack of velocity maps at once.
+
+        Engines that support a model batch axis (``supports_model_batch``)
+        advance ``chunk_size`` maps per shared time loop; other engines fall
+        back to one :meth:`model_shots` call per map.
+
+        Parameters
+        ----------
+        velocities:
+            ``(n_models, nz, nx)`` stack of velocity maps sharing the
+            survey's geometry.
+        chunk_size:
+            Maps propagated per batched call (bounds peak memory:
+            each chunk holds ``chunk * n_sources`` wavefields).  ``None``
+            propagates the whole stack in one call.
+
+        Returns an array of shape
+        ``(n_models, n_sources, n_steps, n_receivers)``.
+        """
+        velocities = np.asarray(velocities, dtype=np.float64)
+        if velocities.ndim != 3:
+            raise ValueError(
+                "velocities must be a 3-D stack [model, depth, offset]")
+        if velocities.shape[0] == 0:
+            raise ValueError("velocity stack must contain at least one model")
+        self._check_width(velocities)
+        factory = get_propagator(self.propagator)
+        if not getattr(factory, "supports_model_batch", False):
+            return np.stack([self.model_shots(v) for v in velocities])
+
+        sources = self.survey.source_positions()
+        receivers = self.survey.receiver_positions()
+        wavelet = self.source_wavelet()
+        n_models = velocities.shape[0]
+        chunk = n_models if chunk_size is None else max(1, int(chunk_size))
+        blocks = []
+        for start in range(0, n_models, chunk):
+            simulator = factory(velocities[start:start + chunk], self.config)
+            blocks.append(simulator.simulate_shots(sources, wavelet, receivers))
+        data = np.concatenate(blocks, axis=0)
+        if self.normalize:
+            data = normalize_per_shot(data)
         return data
 
 
@@ -80,12 +153,15 @@ def forward_model_shot_gather(velocity: np.ndarray,
                               dt: Optional[float] = None,
                               peak_frequency: float = 15.0,
                               boundary_width: int = 8,
-                              normalize: bool = True) -> np.ndarray:
+                              normalize: bool = True,
+                              propagator: PropagatorSpec = None) -> np.ndarray:
     """Convenience wrapper: build a survey + config and model all shots.
 
     Parameters mirror :class:`ForwardModel`; ``dt`` defaults to a CFL-stable
-    value for the given velocity model.  The receiver count defaults to the
-    model width.
+    value for the given velocity model, and a user-supplied ``dt`` is
+    CFL-validated up front so violations surface with the caller's
+    parameters instead of deep inside the simulator.  The receiver count
+    defaults to the model width.
 
     Returns an array of shape ``(n_sources, n_steps, n_receivers)``.
     """
@@ -98,13 +174,14 @@ def forward_model_shot_gather(velocity: np.ndarray,
     from repro.seismic.boundary import SpongeBoundary
 
     boundary = SpongeBoundary(width=min(boundary_width, max(1, min(nz, nx) // 3 - 1)))
-    config = SimulationConfig(dx=dx, dz=dx, dt=0.001, n_steps=n_steps,
-                              spatial_order=4, boundary=boundary)
+    max_velocity = float(velocity.max())
     if dt is None:
-        dt = config.stable_dt(float(velocity.max()))
+        dt = stable_time_step(max_velocity, dx=dx, dz=dx, spatial_order=4)
     config = SimulationConfig(dx=dx, dz=dx, dt=dt, n_steps=n_steps,
                               spatial_order=4, boundary=boundary)
+    config.validate_cfl(max_velocity)
     survey = SurveyGeometry(n_sources=n_sources, n_receivers=n_receivers, nx=nx)
     model = ForwardModel(survey=survey, config=config,
-                         peak_frequency=peak_frequency, normalize=normalize)
+                         peak_frequency=peak_frequency, normalize=normalize,
+                         propagator=propagator)
     return model.model_shots(velocity)

@@ -76,6 +76,29 @@ class TestQuantumTrainer:
         lrs = result.history("lr")
         assert lrs[0] > lrs[-1]
 
+    def test_logged_lr_is_the_rate_used_that_epoch(self, tiny_scaled_dataset):
+        """Regression: epoch 0 must log the base LR, not the post-step rate."""
+        config = _training_config(epochs=3)
+        model = QuGeoVQC(_vqc_config("layer"), rng=0)
+        result = QuantumTrainer(config).train(model, tiny_scaled_dataset)
+        lrs = result.history("lr")
+        assert lrs[0] == pytest.approx(config.learning_rate)
+        # Each subsequent epoch uses the rate the scheduler set after the
+        # previous one, so the history is strictly decreasing under cosine.
+        assert all(a > b for a, b in zip(lrs, lrs[1:]))
+
+    def test_final_metrics_labeled_train_without_test_set(self, tiny_scaled_dataset):
+        model = QuGeoVQC(_vqc_config("layer"), rng=0)
+        result = QuantumTrainer(_training_config(epochs=2)).train(
+            model, tiny_scaled_dataset)
+        assert set(result.final_metrics) == {"train_ssim", "train_mse"}
+
+    def test_final_metrics_labeled_test_with_test_set(self, tiny_scaled_dataset):
+        model = QuGeoVQC(_vqc_config("layer"), rng=0)
+        result = QuantumTrainer(_training_config(epochs=2)).train(
+            model, tiny_scaled_dataset, tiny_scaled_dataset)
+        assert set(result.final_metrics) == {"test_ssim", "test_mse"}
+
     def test_trains_pixel_decoder(self, tiny_scaled_dataset):
         model = QuGeoVQC(_vqc_config("pixel"), rng=0)
         result = QuantumTrainer(_training_config(epochs=4)).train(
@@ -117,6 +140,23 @@ class TestClassicalTrainer:
                                                 tiny_scaled_dataset)
         assert np.isfinite(result.final_metrics["test_mse"])
 
+    def test_logged_lr_is_the_rate_used_that_epoch(self, tiny_scaled_dataset):
+        """Regression: epoch 0 must log the base LR, not the post-step rate."""
+        model = build_cnn_ly(64, (6, 6), rng=0)
+        config = TrainingConfig(epochs=3, learning_rate=0.01, batch_size=3,
+                                eval_every=5, seed=0)
+        result = ClassicalTrainer(config).train(model, tiny_scaled_dataset)
+        lrs = result.history("lr")
+        assert lrs[0] == pytest.approx(config.learning_rate)
+        assert all(a > b for a, b in zip(lrs, lrs[1:]))
+
+    def test_final_metrics_labeled_train_without_test_set(self, tiny_scaled_dataset):
+        model = build_cnn_ly(64, (6, 6), rng=0)
+        config = TrainingConfig(epochs=2, learning_rate=0.01, batch_size=3,
+                                eval_every=5, seed=0)
+        result = ClassicalTrainer(config).train(model, tiny_scaled_dataset)
+        assert set(result.final_metrics) == {"train_ssim", "train_mse"}
+
 
 class TestEvaluateModel:
     def test_quantum_and_classical_interfaces(self, tiny_scaled_dataset):
@@ -134,6 +174,19 @@ class TestEvaluateModel:
 
 
 class TestExperimentHelpers:
+    def test_final_metric_reads_either_split(self):
+        from repro.core.experiment import final_metric
+        from repro.utils.logging import RunLogger
+
+        tested = TrainingResult(model=None, logger=RunLogger(),
+                                final_metrics={"test_ssim": 0.9, "test_mse": 1e-3})
+        trained = TrainingResult(model=None, logger=RunLogger(),
+                                 final_metrics={"train_ssim": 0.5, "train_mse": 0.1})
+        assert final_metric(tested, "ssim") == pytest.approx(0.9)
+        assert final_metric(trained, "mse") == pytest.approx(0.1)
+        with pytest.raises(KeyError):
+            final_metric(trained, "missing")
+
     def test_experiment_result_metric_access(self):
         result = ExperimentResult(model="Q-M-LY", dataset="Q-D-FW",
                                   metrics={"ssim": 0.9})

@@ -1,0 +1,296 @@
+"""Tests for the batched multi-shot acoustic propagator and its registry.
+
+The batched engine must reproduce the scalar reference bit-for-bit (well
+inside the 1e-10 acceptance tolerance) on random layered models across every
+supported spatial order, with and without wavefield recording, and on the
+multi-velocity-model path used by dataset generation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.seismic import (
+    AcousticSimulator2D,
+    BatchedAcousticSimulator2D,
+    ForwardModel,
+    SimulationConfig,
+    SpongeBoundary,
+    SurveyGeometry,
+    VelocityModelConfig,
+    available_propagators,
+    default_propagator_name,
+    flat_layer_model,
+    forward_model_shot_gather,
+    get_propagator,
+    normalize_per_shot,
+    register_propagator,
+    ricker_wavelet,
+    set_default_propagator,
+    stable_time_step,
+    unregister_propagator,
+)
+from repro.seismic.propagators import (
+    DuplicatePropagatorError,
+    UnknownPropagatorError,
+)
+
+
+def _layered_velocity(seed, shape=(24, 24)):
+    config = VelocityModelConfig(shape=shape, min_velocity=1500.0,
+                                 max_velocity=3500.0)
+    return flat_layer_model(config, rng=seed)
+
+
+def _config(n_steps=60, order=4, dx=10.0):
+    dt = stable_time_step(3500.0, dx=dx, spatial_order=order)
+    return SimulationConfig(dx=dx, dz=dx, dt=dt, n_steps=n_steps,
+                            spatial_order=order,
+                            boundary=SpongeBoundary(width=4))
+
+
+SOURCES = [(1, 3), (1, 12), (1, 20)]
+RECEIVERS = [(1, c) for c in range(0, 24, 3)]
+
+
+def _forward_model(propagator=None, normalize=True):
+    survey = SurveyGeometry(n_sources=3, n_receivers=12, nx=24)
+    return ForwardModel(survey=survey, config=_config(n_steps=50),
+                        normalize=normalize, propagator=propagator)
+
+
+class TestBatchedScalarParity:
+    @pytest.mark.parametrize("order", [2, 4, 8])
+    def test_gathers_match_scalar_reference(self, order):
+        velocity = _layered_velocity(seed=order, shape=(24, 24))
+        config = _config(order=order)
+        wavelet = ricker_wavelet(config.n_steps, config.dt, 12.0)
+        scalar = AcousticSimulator2D(velocity, config)
+        batched = BatchedAcousticSimulator2D(velocity, config)
+        reference = scalar.simulate_shots(SOURCES, wavelet, RECEIVERS)
+        result = batched.simulate_shots(SOURCES, wavelet, RECEIVERS)
+        assert result.shape == (len(SOURCES), config.n_steps, len(RECEIVERS))
+        np.testing.assert_allclose(result, reference, atol=1e-10, rtol=0)
+
+    @pytest.mark.parametrize("order", [2, 4, 8])
+    def test_wavefield_snapshots_match(self, order):
+        velocity = _layered_velocity(seed=10 + order)
+        config = _config(n_steps=40, order=order)
+        wavelet = ricker_wavelet(config.n_steps, config.dt, 12.0)
+        ref_gather, ref_snaps = AcousticSimulator2D(velocity, config).simulate_shots(
+            SOURCES, wavelet, RECEIVERS, record_wavefield=True, wavefield_stride=10)
+        gather, snaps = BatchedAcousticSimulator2D(velocity, config).simulate_shots(
+            SOURCES, wavelet, RECEIVERS, record_wavefield=True, wavefield_stride=10)
+        np.testing.assert_allclose(gather, ref_gather, atol=1e-10, rtol=0)
+        assert len(snaps) == len(ref_snaps) == 4
+        for snap, ref in zip(snaps, ref_snaps):
+            assert snap.shape == (len(SOURCES), 24, 24)
+            np.testing.assert_allclose(snap, ref, atol=1e-10, rtol=0)
+
+    def test_multi_model_batch_matches_per_map_scalar(self):
+        velocities = np.stack([_layered_velocity(seed) for seed in (3, 5, 7)])
+        config = _config(n_steps=50)
+        wavelet = ricker_wavelet(config.n_steps, config.dt, 12.0)
+        batched = BatchedAcousticSimulator2D(velocities, config)
+        assert batched.n_models == 3
+        result = batched.simulate_shots(SOURCES, wavelet, RECEIVERS)
+        assert result.shape == (3, len(SOURCES), config.n_steps, len(RECEIVERS))
+        for m, velocity in enumerate(velocities):
+            reference = AcousticSimulator2D(velocity, config).simulate_shots(
+                SOURCES, wavelet, RECEIVERS)
+            np.testing.assert_allclose(result[m], reference, atol=1e-10, rtol=0)
+
+    def test_per_shot_wavelets(self):
+        velocity = _layered_velocity(seed=2)
+        config = _config(n_steps=50)
+        base = ricker_wavelet(config.n_steps, config.dt, 12.0)
+        wavelets = np.stack([base, 2.0 * base, 0.5 * base])
+        batched = BatchedAcousticSimulator2D(velocity, config).simulate_shots(
+            SOURCES, wavelets, RECEIVERS)
+        scalar_sim = AcousticSimulator2D(velocity, config)
+        for s, (source, wavelet) in enumerate(zip(SOURCES, wavelets)):
+            reference = scalar_sim.simulate_shot(source, wavelet, RECEIVERS)
+            np.testing.assert_allclose(batched[s], reference, atol=1e-10, rtol=0)
+
+    def test_matmul_fallback_matches_scalar(self, monkeypatch):
+        """Without SciPy the banded-matmul Laplacian must hold parity too."""
+        import repro.seismic.acoustic2d as acoustic2d
+
+        monkeypatch.setattr(acoustic2d, "_correlate1d", None)
+        monkeypatch.setattr(acoustic2d, "_daxpy", None)
+        velocity = _layered_velocity(seed=6)
+        config = _config(n_steps=50)
+        wavelet = ricker_wavelet(config.n_steps, config.dt, 12.0)
+        batched = BatchedAcousticSimulator2D(velocity, config)
+        assert not batched._use_ndimage
+        result = batched.simulate_shots(SOURCES, wavelet, RECEIVERS)
+        reference = AcousticSimulator2D(velocity, config).simulate_shots(
+            SOURCES, wavelet, RECEIVERS)
+        np.testing.assert_allclose(result, reference, atol=1e-10, rtol=0)
+
+    def test_rejects_bad_inputs(self):
+        config = _config(n_steps=5)
+        with pytest.raises(ValueError):
+            BatchedAcousticSimulator2D(np.ones(10), config)
+        with pytest.raises(ValueError):
+            BatchedAcousticSimulator2D(np.full((24, 24), -1.0), config)
+        simulator = BatchedAcousticSimulator2D(_layered_velocity(1), config)
+        wavelet = ricker_wavelet(5, config.dt, 12.0)
+        with pytest.raises(ValueError):
+            simulator.simulate_shots([(100, 0)], wavelet, RECEIVERS)
+        with pytest.raises(ValueError):
+            simulator.simulate_shots(SOURCES, wavelet, [(100, 0)])
+        with pytest.raises(ValueError):
+            simulator.simulate_shots([], wavelet, RECEIVERS)
+        with pytest.raises(ValueError):
+            simulator.simulate_shots(SOURCES, np.zeros((2, 5)), RECEIVERS)
+
+
+class TestPropagatorRegistry:
+    def test_builtin_engines_registered(self):
+        names = available_propagators()
+        assert "scalar" in names
+        assert "batched" in names
+
+    def test_default_is_batched(self):
+        assert default_propagator_name() == "batched"
+        assert get_propagator() is BatchedAcousticSimulator2D
+
+    def test_resolve_by_name_and_factory(self):
+        assert get_propagator("scalar") is AcousticSimulator2D
+        assert get_propagator(AcousticSimulator2D) is AcousticSimulator2D
+
+    def test_env_var_override(self, monkeypatch):
+        monkeypatch.setenv("QUGEO_PROPAGATOR", "scalar")
+        assert default_propagator_name() == "scalar"
+        assert get_propagator() is AcousticSimulator2D
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownPropagatorError):
+            get_propagator("bogus")
+        with pytest.raises(TypeError):
+            get_propagator(123)
+
+    def test_register_unregister_roundtrip(self):
+        register_propagator("parity-test", AcousticSimulator2D)
+        try:
+            with pytest.raises(DuplicatePropagatorError):
+                register_propagator("parity-test", AcousticSimulator2D)
+            register_propagator("parity-test", BatchedAcousticSimulator2D,
+                                replace=True)
+            assert get_propagator("parity-test") is BatchedAcousticSimulator2D
+        finally:
+            unregister_propagator("parity-test")
+        assert "parity-test" not in available_propagators()
+
+    def test_set_default_roundtrip(self):
+        original = default_propagator_name()
+        set_default_propagator("scalar")
+        try:
+            assert default_propagator_name() == "scalar"
+        finally:
+            set_default_propagator(original)
+
+
+class TestForwardModelBatched:
+    def test_scalar_and_batched_engines_agree(self):
+        velocity = _layered_velocity(seed=9)
+        scalar = _forward_model(propagator="scalar").model_shots(velocity)
+        batched = _forward_model(propagator="batched").model_shots(velocity)
+        np.testing.assert_allclose(batched, scalar, atol=1e-10, rtol=0)
+
+    def test_model_shots_batch_matches_per_map(self):
+        velocities = np.stack([_layered_velocity(seed) for seed in (11, 13, 17, 19)])
+        model = _forward_model()
+        per_map = np.stack([model.model_shots(v) for v in velocities])
+        stacked = model.model_shots_batch(velocities)
+        chunked = model.model_shots_batch(velocities, chunk_size=3)
+        assert stacked.shape == (4, 3, 50, 12)
+        np.testing.assert_allclose(stacked, per_map, atol=1e-10, rtol=0)
+        np.testing.assert_allclose(chunked, per_map, atol=1e-10, rtol=0)
+
+    def test_model_shots_batch_scalar_fallback(self):
+        velocities = np.stack([_layered_velocity(seed) for seed in (11, 13)])
+        batched = _forward_model().model_shots_batch(velocities)
+        fallback = _forward_model(propagator="scalar").model_shots_batch(velocities)
+        np.testing.assert_allclose(fallback, batched, atol=1e-10, rtol=0)
+
+    def test_model_shots_batch_rejects_2d(self):
+        with pytest.raises(ValueError):
+            _forward_model().model_shots_batch(_layered_velocity(1))
+
+    def test_model_shots_batch_rejects_empty_stack(self):
+        with pytest.raises(ValueError, match="at least one model"):
+            _forward_model().model_shots_batch(np.empty((0, 24, 24)))
+
+
+class TestPerShotNormalization:
+    def test_every_shot_normalised_to_unit_peak(self):
+        """Regression: shots of different amplitudes each peak at 1."""
+        velocity = _layered_velocity(seed=21)
+        data = _forward_model().model_shots(velocity)
+        peaks = np.max(np.abs(data), axis=(1, 2))
+        np.testing.assert_allclose(peaks, np.ones(data.shape[0]), atol=1e-12)
+
+    def test_normalize_per_shot_scales_each_shot(self):
+        data = np.zeros((3, 4, 5))
+        data[0, 1, 2] = 2.0
+        data[1, 0, 0] = -8.0
+        # shot 2 stays all-zero
+        result = normalize_per_shot(data)
+        assert result[0, 1, 2] == pytest.approx(1.0)
+        assert result[1, 0, 0] == pytest.approx(-1.0)
+        np.testing.assert_array_equal(result[2], np.zeros((4, 5)))
+        assert np.all(np.isfinite(result))
+
+    def test_normalize_per_shot_batched_layout(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(2, 3, 6, 4)) * rng.uniform(0.1, 10.0, size=(2, 3, 1, 1))
+        result = normalize_per_shot(data)
+        peaks = np.max(np.abs(result), axis=(-2, -1))
+        np.testing.assert_allclose(peaks, np.ones((2, 3)), atol=1e-12)
+
+    def test_normalize_per_shot_rejects_scalars(self):
+        with pytest.raises(ValueError):
+            normalize_per_shot(np.zeros(4))
+
+
+class TestSpongeMaskBroadcast:
+    def test_batched_shape_builds_trailing_grid_mask(self):
+        boundary = SpongeBoundary(width=5)
+        flat = boundary.build_mask((40, 40))
+        batched = boundary.build_mask((3, 40, 40))
+        stacked = boundary.build_mask((2, 3, 40, 40))
+        assert batched.shape == (40, 40)
+        assert stacked.shape == (40, 40)
+        np.testing.assert_array_equal(batched, flat)
+
+    def test_apply_broadcasts_over_batch_axis(self):
+        boundary = SpongeBoundary(width=5)
+        mask = boundary.build_mask((3, 40, 40))
+        fields = np.random.default_rng(1).normal(size=(3, 40, 40))
+        expected = np.stack([f * mask for f in fields])
+        damped = boundary.apply(fields.copy(), mask)
+        np.testing.assert_allclose(damped, expected)
+
+    def test_rejects_sub_2d_shape(self):
+        with pytest.raises(ValueError):
+            SpongeBoundary(width=2).build_mask((40,))
+
+
+class TestCflUpFront:
+    def test_unstable_user_dt_raises_before_simulation(self):
+        velocity = np.full((20, 20), 4000.0)
+        with pytest.raises(ValueError, match="CFL"):
+            forward_model_shot_gather(velocity, n_sources=1, n_steps=10,
+                                      dx=1.0, dt=0.01)
+
+    def test_stable_time_step_matches_config_helper(self):
+        config = SimulationConfig(dx=10.0, dz=10.0, n_steps=10)
+        assert stable_time_step(4500.0, dx=10.0) == pytest.approx(
+            config.stable_dt(4500.0))
+
+    def test_stable_time_step_validation(self):
+        with pytest.raises(ValueError):
+            stable_time_step(4500.0, dx=10.0, spatial_order=3)
+        with pytest.raises(ValueError):
+            stable_time_step(-1.0, dx=10.0)
