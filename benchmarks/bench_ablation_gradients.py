@@ -11,7 +11,7 @@ the adjoint method is orders of magnitude cheaper in circuit executions.
 import time
 
 import numpy as np
-from common import write_result
+from common import write_json, write_result
 
 from repro.quantum import (
     amplitude_encode,
@@ -79,6 +79,7 @@ def render(result) -> str:
 def test_ablation_gradient_methods(benchmark):
     result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
     write_result("ablation_gradients", render(result))
+    write_json("ablation_gradients", result)
     assert result["adjoint_seconds"] < result["shift_seconds"]
     # Both estimators must point in a broadly consistent descent direction.
     assert result["gradient_cosine_similarity"] > 0.5

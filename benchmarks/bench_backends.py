@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
+from common import add_json_argument, write_json
 
 from repro.backends import available_backends, get_backend
 from repro.quantum.ansatz import u3_cu3_ansatz
@@ -99,6 +100,7 @@ def main() -> int:
                         help="exit non-zero unless the einsum backend beats "
                              "the loop backend by FACTOR at batch >= 8 and "
                              ">= 6 qubits")
+    add_json_argument(parser)
     args = parser.parse_args()
 
     if args.quick:
@@ -115,6 +117,15 @@ def main() -> int:
     path.write_text(text + "\n")
     print(text)
     print(f"[written to {path}]")
+    if args.json is not None:
+        header = ["backend", "qubits", "batch", "gates", "total_ms",
+                  "ms_per_sample", "vs_loop"]
+        write_json("bench_backends",
+                   {"n_blocks": args.blocks,
+                    "rows": [dict(zip(header, row)) for row in rows],
+                    "speedups": {f"{q}q_b{b}": factor
+                                 for (q, b), factor in speedups.items()}},
+                   path=args.json)
 
     relevant = {key: factor for key, factor in speedups.items()
                 if key[0] >= 6 and key[1] >= 8}

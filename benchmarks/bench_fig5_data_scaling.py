@@ -7,7 +7,7 @@ SSIM 0.800 (D-Sample), 0.859 (Q-D-FW), 0.862 (Q-D-CNN); the physics-guided
 scalings clearly dominate the naive baseline.
 """
 
-from common import SCALING_METHODS, trained_quantum_model, write_result
+from common import SCALING_METHODS, trained_quantum_model, write_json, write_result
 
 from repro.utils.tables import format_table
 
@@ -44,6 +44,7 @@ def render(results) -> str:
 def test_fig5_data_scaling(benchmark):
     results = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
     write_result("fig5_data_scaling", render(results))
+    write_json("fig5_data_scaling", {"results": results})
     # The headline claim of Figure 5: physics-guided scaling outperforms the
     # naive nearest-neighbour baseline.
     best_physics = max(results["Q-D-FW"]["ssim"], results["Q-D-CNN"]["ssim"])

@@ -9,7 +9,8 @@ compressor reproduces the physics-guided data almost exactly.
 """
 
 import numpy as np
-from common import raw_splits, scalers, write_result, data_config, vqc_config
+from common import (data_config, raw_splits, scalers, vqc_config, write_json,
+                    write_result)
 
 from repro.metrics import ssim
 from repro.quantum.encoding import STEncoder
@@ -56,6 +57,10 @@ def render(rows) -> str:
 def test_fig6_waveform_fidelity(benchmark):
     rows = benchmark.pedantic(run_figure6, rounds=1, iterations=1)
     write_result("fig6_waveform_fidelity", render(rows))
+    write_json("fig6_waveform_fidelity",
+               {"rows": [{"method": name, "raw_ssim": raw,
+                          "quantum_ssim": quantum}
+                         for name, raw, quantum in rows]})
     scores = {name: raw for name, raw, _ in rows}
     # Q-D-FW against itself is exact; the CNN must resemble it far more than
     # naive down-sampling does.

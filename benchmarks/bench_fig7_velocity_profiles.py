@@ -9,7 +9,8 @@ the showcased sample).
 """
 
 import numpy as np
-from common import SCALING_METHODS, scaled_datasets, trained_quantum_model, write_result
+from common import (SCALING_METHODS, scaled_datasets, trained_quantum_model,
+                    write_json, write_result)
 
 from repro.core.experiment import count_interface_matches, vertical_profile
 from repro.metrics import ssim
@@ -51,6 +52,13 @@ def render(rows) -> str:
 def test_fig7_velocity_profiles(benchmark):
     rows = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
     write_result("fig7_velocity_profiles", render(rows))
+    write_json("fig7_velocity_profiles",
+               {"rows": [{"method": method, "sample_ssim": sample_ssim,
+                          "interfaces_recovered": recovered,
+                          "truth_profile": truth,
+                          "predicted_profile": predicted}
+                         for method, sample_ssim, recovered, truth, predicted
+                         in rows]})
     # Every profile must be a valid normalised velocity sequence.
     for _, sample_ssim, _, _, predicted in rows:
         assert -1.0 <= sample_ssim <= 1.0

@@ -9,7 +9,7 @@ improves SSIM from 0.800 to 0.905 and MSE by 61.69% over the naive pipeline.
 """
 
 import numpy as np
-from common import SCALING_METHODS, trained_quantum_model, write_result
+from common import SCALING_METHODS, trained_quantum_model, write_json, write_result
 
 from repro.utils.tables import format_table
 
@@ -39,6 +39,9 @@ def render(results) -> str:
 def test_fig8_decoder_comparison(benchmark):
     results = benchmark.pedantic(run_figure8, rounds=1, iterations=1)
     write_result("fig8_decoder_comparison", render(results))
+    write_json("fig8_decoder_comparison",
+               {"results": {f"{label}/{method}": values
+                            for (label, method), values in results.items()}})
     # Headline claim: the layer-wise decoder outperforms the pixel-wise one
     # on average across the scalings.
     ly = np.mean([results[("Q-M-LY", m)]["ssim"] for m in SCALING_METHODS])

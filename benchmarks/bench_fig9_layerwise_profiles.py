@@ -8,7 +8,8 @@ relative ordering of some layers (0.9606).
 """
 
 import numpy as np
-from common import scaled_datasets, trained_quantum_model, write_result
+from common import (scaled_datasets, trained_quantum_model, write_json,
+                    write_result)
 
 from repro.core.experiment import count_interface_matches, vertical_profile
 from repro.metrics import ssim
@@ -54,6 +55,13 @@ def render(rows) -> str:
 def test_fig9_layerwise_profiles(benchmark):
     rows = benchmark.pedantic(run_figure9, rounds=1, iterations=1)
     write_result("fig9_layerwise_profiles", render(rows))
+    write_json("fig9_layerwise_profiles",
+               {"rows": [{"configuration": name, "sample_ssim": sample_ssim,
+                          "interfaces_recovered": recovered,
+                          "truth_profile": truth,
+                          "predicted_profile": predicted}
+                         for name, sample_ssim, recovered, truth, predicted
+                         in rows]})
     by_name = {name: sample_ssim for name, sample_ssim, *_ in rows}
     # The layer-wise decoder with physics-guided data is the best of the three
     # configurations in the paper; allow a small tolerance at reduced scale.

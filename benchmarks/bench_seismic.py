@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Dict, List, Tuple
 
 import numpy as np
+from common import add_json_argument, write_json
 
 from repro.seismic import (
     ForwardModel,
@@ -129,6 +130,7 @@ def main() -> int:
                         help="exit non-zero unless the batched engine beats "
                              "the scalar engine by FACTOR on the 5-shot "
                              "single-map scenario")
+    add_json_argument(parser)
     args = parser.parse_args()
 
     if args.quick:
@@ -143,6 +145,14 @@ def main() -> int:
     path.write_text(text + "\n")
     print(text)
     print(f"[written to {path}]")
+    if args.json is not None:
+        header = ["propagator", "scenario", "steps", "shots", "total_ms",
+                  "ms_per_shot", "vs_scalar"]
+        write_json("bench_seismic",
+                   {"n_steps": n_steps, "map_batch": map_batch,
+                    "rows": [dict(zip(header, row)) for row in rows],
+                    "speedups": speedups},
+                   path=args.json)
 
     single_map = next(iter(speedups.values()))
     for label, factor in speedups.items():

@@ -6,7 +6,7 @@ batched circuits stay competitive, with a slight degradation attributed to
 the joint-normalisation precision loss.
 """
 
-from common import trained_quantum_model, write_result
+from common import trained_quantum_model, write_json, write_result
 
 from repro.utils.tables import format_table
 
@@ -39,6 +39,9 @@ def render(rows) -> str:
 def test_table1_qubatch(benchmark):
     rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
     write_result("table1_qubatch", render(rows))
+    header = ["model", "dataset", "batch", "extra_qubits", "ssim", "vs_baseline"]
+    write_json("table1_qubatch",
+               {"rows": [dict(zip(header, row)) for row in rows]})
     ssims = [row[4] for row in rows]
     # QuBatch must stay in the same quality regime as the unbatched baseline
     # (the paper reports at most a few percent SSIM degradation).

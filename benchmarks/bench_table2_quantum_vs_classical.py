@@ -7,7 +7,8 @@ Q-D-FW): CNN-PX 0.870 / 4.34e-4, CNN-LY 0.871 / 4.36e-4, Q-M-PX 0.859 /
 classical baselines at a comparable parameter count.
 """
 
-from common import trained_classical_model, trained_quantum_model, write_result
+from common import (trained_classical_model, trained_quantum_model,
+                    write_json, write_result)
 
 from repro.utils.tables import format_table
 
@@ -50,6 +51,10 @@ def render(rows) -> str:
 def test_table2_quantum_vs_classical(benchmark):
     rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
     write_result("table2_quantum_vs_classical", render(rows))
+    header = ["model", "params", "ssim_qdfw", "mse_qdfw", "ssim_qdcnn",
+              "mse_qdcnn"]
+    write_json("table2_quantum_vs_classical",
+               {"rows": [dict(zip(header, row)) for row in rows]})
     by_model = {row[0]: row for row in rows}
     # Parameter budgets must sit at the same level (paper: 576-634).
     assert by_model["Q-M-LY"][1] == 576

@@ -17,17 +17,22 @@ environment variable:
 * ``medium`` — a few hundred epochs on ~100 samples (roughly an hour).
 * ``full`` — the paper's 400/100 split and 500 epochs (several hours).
 
-Results are printed and also written to ``benchmarks/results/*.txt`` so the
-rows survive pytest's output capturing.
+Results are printed and also written to ``benchmarks/results/*.txt`` (human
+readable) and ``benchmarks/results/*.json`` (machine readable, one payload
+per benchmark via :func:`write_json`) so the rows survive pytest's output
+capturing and CI can track the perf trajectory across commits.  Scripts with
+their own CLI expose the shared ``--json [PATH]`` flag through
+:func:`add_json_argument` and pass ``args.json`` to :func:`write_json`.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
-from typing import Dict, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.core import (
     ClassicalTrainer,
@@ -192,3 +197,54 @@ def write_result(name: str, text: str) -> Path:
     path.write_text(text + "\n")
     print(f"\n{text}\n[written to {path}]")
     return path
+
+
+def _to_jsonable(value):
+    """Recursively coerce numpy scalars/arrays so ``json.dump`` accepts them."""
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(key): _to_jsonable(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(entry) for entry in value]
+    if isinstance(value, np.ndarray):
+        return _to_jsonable(value.tolist())
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def write_json(name: str, payload: Dict, path: Optional[Union[str, Path]] = None
+               ) -> Path:
+    """Persist one benchmark's machine-readable payload.
+
+    Defaults to ``benchmarks/results/<name>.json``; an explicit ``path``
+    (from the shared ``--json`` flag) overrides the destination.  The payload
+    is tagged with the benchmark name and the active scale tier so a CI
+    artifact is self-describing.
+    """
+    if path is None or path == "":
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIR / f"{name}.json"
+    else:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+    document = {"benchmark": name,
+                "scale": os.environ.get("QUGEO_BENCH_SCALE", "small")}
+    document.update(_to_jsonable(payload))
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"[json written to {path}]")
+    return path
+
+
+def add_json_argument(parser) -> None:
+    """Attach the shared ``--json [PATH]`` flag to an argparse CLI.
+
+    ``--json`` with no value writes the default
+    ``benchmarks/results/<name>.json``; ``--json PATH`` writes to ``PATH``;
+    omitting the flag disables JSON output for CLI scripts.
+    """
+    parser.add_argument("--json", nargs="?", const="", default=None,
+                        metavar="PATH",
+                        help="write machine-readable results as JSON "
+                             "(default path: benchmarks/results/<name>.json)")

@@ -20,6 +20,13 @@ Three optimisations on top of the plain batched contraction:
   batched parameter sweeps build each gate's ``(batch, 2**k, 2**k)`` matrix
   stack without a Python loop via
   :meth:`repro.quantum.parametric.ParametricGate.matrix_stack`.
+
+The engine also advertises ``batched_adjoint``: ``run_batched(...,
+return_intermediate=True)`` records the pre-gate state stack of every op and
+:meth:`EinsumBatchBackend.apply_gate_batched` pulls a whole co-state stack
+through one matrix in a single contraction, which is what lets
+:func:`repro.quantum.autodiff.circuit_gradients_batched` run a mini-batch of
+reverse-mode gradients as a handful of BLAS-dispatched contractions per gate.
 """
 
 from __future__ import annotations
@@ -73,7 +80,8 @@ class EinsumBatchBackend(SimulationBackend):
     capabilities = BackendCapabilities(batched_states=True,
                                        batched_params=True,
                                        gate_fusion=True,
-                                       adjoint=True)
+                                       adjoint=True,
+                                       batched_adjoint=True)
 
     #: State tensors with at least this many elements route through a
     #: precomputed BLAS-dispatching contraction path; smaller ones stay on
@@ -191,7 +199,8 @@ class EinsumBatchBackend(SimulationBackend):
         return path
 
     def run_batched(self, circuit: "ParameterizedCircuit", states: np.ndarray,
-                    params: Optional[np.ndarray] = None) -> np.ndarray:
+                    params: Optional[np.ndarray] = None,
+                    return_intermediate: bool = False):
         states = np.asarray(states, dtype=np.complex128)
         if states.ndim != 2:
             raise ValueError("states must have shape (batch, 2**n_qubits)")
@@ -202,10 +211,34 @@ class EinsumBatchBackend(SimulationBackend):
         batch = states.shape[0]
         params, params_batched = self._normalise_params(circuit, batch, params)
         tensor = states.reshape((batch,) + (2,) * n)
+        if return_intermediate:
+            # Batched adjoint path: the gradient sweep needs the state stack
+            # before every op, so fusion is disabled and each op is applied
+            # individually (still one whole-batch contraction per op).
+            intermediates: List[np.ndarray] = []
+            for op in circuit.ops:
+                intermediates.append(tensor.reshape(batch, -1))
+                matrix, batched = self._op_matrix(op, params, params_batched)
+                tensor = self._apply_batched(tensor, matrix, op.qubits, n,
+                                             batched)
+            return np.ascontiguousarray(tensor.reshape(batch, -1)), intermediates
         for matrix, targets, batched in self._gate_stream(circuit, params,
                                                           params_batched):
             tensor = self._apply_batched(tensor, matrix, targets, n, batched)
         return np.ascontiguousarray(tensor.reshape(batch, -1))
+
+    def apply_gate_batched(self, states: np.ndarray, matrix: np.ndarray,
+                           targets, n_qubits: int) -> np.ndarray:
+        """Apply one gate matrix to the whole stack with one contraction."""
+        states = np.asarray(states, dtype=np.complex128)
+        if states.ndim != 2:
+            raise ValueError("states must have shape (batch, 2**n_qubits)")
+        batch = states.shape[0]
+        tensor = states.reshape((batch,) + (2,) * n_qubits)
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        out = self._apply_batched(tensor, matrix, tuple(targets), n_qubits,
+                                  False)
+        return out.reshape(batch, -1)
 
     def run(self, circuit: "ParameterizedCircuit", state: np.ndarray,
             params: Optional[np.ndarray] = None,

@@ -6,6 +6,12 @@ bit-for-bit — a Python loop over the circuit's ops calling
 model and benchmark number is preserved when it is the active backend (it is
 the registry default).  It is also the ground truth the vectorised engines
 are tested against.
+
+The engine does not advertise ``batched_adjoint``: the batched gradient path
+(:func:`repro.quantum.autodiff.circuit_gradients_batched`) still works here,
+it just drives the backend one sample at a time through the plain
+``run(..., return_intermediate=True)`` / ``apply_gate`` contract — which is
+exactly what the parity tests rely on.
 """
 
 from __future__ import annotations

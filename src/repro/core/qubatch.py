@@ -26,9 +26,15 @@ from repro.backends import get_backend
 from repro.core.config import QuGeoVQCConfig
 from repro.nn.tensor import Tensor
 from repro.quantum.ansatz import u3_cu3_ansatz
-from repro.quantum.autodiff import circuit_gradients
+from repro.quantum.autodiff import circuit_gradients_batched
 from repro.quantum.circuit import ParameterizedCircuit
 from repro.quantum.encoding import QuBatchEncoder, STEncoder
+from repro.quantum.measurement import (
+    marginal_probabilities_backward_batched,
+    marginal_probabilities_batched,
+    z_expectations_backward_batched,
+    z_expectations_batched,
+)
 from repro.utils.rng import RngLike, ensure_rng
 
 _EPS = 1e-12
@@ -216,65 +222,66 @@ class QuBatchVQC:
         readout_local = self._local_readout_indices()
         n_data = self.config.qubits_per_group
 
-        def loss_head(psi: np.ndarray):
-            blocks = psi.reshape(self.batch_capacity, -1)
-            lam = np.zeros_like(blocks)
-            total_loss = 0.0
-            for b in range(n_samples):
-                block = blocks[b]
-                probs = np.abs(block) ** 2
-                total = probs.sum()
-                if total <= _EPS:
-                    continue
-                if self.config.decoder == "pixel":
-                    marg = self._marginalise(probs, readout_local)
-                    norm_marg = marg / total
-                    amplitudes = np.sqrt(norm_marg[:depth * width] + _EPS)
-                    prediction = (scale * amplitudes).reshape(depth, width)
-                    diff = prediction - target_array[b]
-                    total_loss += float(np.mean(diff**2))
-                    dpred = 2.0 * diff / diff.size / n_samples
-                    damp = dpred.reshape(-1) * scale
-                    scale_grad[0] += float(np.sum(dpred.reshape(-1) * amplitudes))
-                    dnorm = np.zeros_like(norm_marg)
-                    dnorm[:depth * width] = damp * 0.5 / amplitudes
-                    # Back through normalisation p_o = q_o / total and through
-                    # the marginalisation q_o = sum over block entries.
-                    outcome = self._outcome_map(readout_local, n_data)
-                    g_per_entry = dnorm[outcome]
-                    weighted = float(np.dot(dnorm, norm_marg))
-                    lam[b] += (g_per_entry - weighted) * block / total
-                else:
-                    z = self._block_z(probs, total)
-                    rows = (z + 1.0) / 2.0
-                    prediction = np.repeat(rows[:, None], width, axis=1)
-                    diff = prediction - target_array[b]
-                    total_loss += float(np.mean(diff**2))
-                    dpred = 2.0 * diff / diff.size / n_samples
-                    dz = 0.5 * dpred.sum(axis=1)
-                    indices = np.arange(block.size)
-                    for row in range(depth):
-                        bit = (indices >> (n_data - 1 - row)) & 1
-                        signs = 1.0 - 2.0 * bit
-                        lam[b] += dz[row] * (signs - z[row]) * block / total
-            return total_loss / n_samples, lam.reshape(-1)
+        def loss_head(outputs: np.ndarray):
+            # The QuBatch register is a single state whose amplitude blocks
+            # hold the samples; the per-sample structure is recovered by the
+            # reshape, so all blocks run through the vectorised read-out
+            # heads together instead of a Python loop over samples.
+            blocks = outputs.reshape(-1, 2**n_data)
+            probs = np.abs(blocks) ** 2
+            totals = probs.sum(axis=1)
+            active = np.zeros(self.batch_capacity, dtype=bool)
+            active[:n_samples] = totals[:n_samples] > _EPS
+            safe_totals = np.where(active, totals, 1.0)[:, None]
+            if self.config.decoder == "pixel":
+                marg = marginal_probabilities_batched(blocks, readout_local,
+                                                      n_data)
+                norm_marg = marg / safe_totals
+                amplitudes = np.sqrt(norm_marg[:, :depth * width] + _EPS)
+                predictions = scale * amplitudes
+                diffs = (predictions.reshape(-1, depth, width)
+                         - target_array_padded)
+                flat_diffs = diffs.reshape(diffs.shape[0], -1)
+                per_block_loss = np.mean(flat_diffs**2, axis=1)
+                dpred = 2.0 * flat_diffs / flat_diffs.shape[1] / n_samples
+                dpred[~active] = 0.0
+                scale_grad[0] = float(np.sum(dpred * amplitudes))
+                dnorm = np.zeros_like(norm_marg)
+                dnorm[:, :depth * width] = dpred * scale * 0.5 / amplitudes
+                # Back through normalisation p_o = q_o / total and through
+                # the marginalisation q_o = sum over block entries.
+                g_per_entry = marginal_probabilities_backward_batched(
+                    blocks, readout_local, n_data, dnorm)
+                weighted = np.sum(dnorm * norm_marg, axis=1)[:, None]
+                lam = (g_per_entry - weighted * blocks) / safe_totals
+            else:
+                z_qubits = tuple(range(depth))
+                z = z_expectations_batched(blocks, z_qubits,
+                                           n_data) / safe_totals
+                rows = (z + 1.0) / 2.0
+                diffs = rows[:, :, None] - target_array_padded
+                flat_diffs = diffs.reshape(diffs.shape[0], -1)
+                per_block_loss = np.mean(flat_diffs**2, axis=1)
+                dpred = 2.0 * diffs / (depth * width) / n_samples
+                dpred[~active] = 0.0
+                dz = 0.5 * dpred.sum(axis=2)
+                weighted = np.sum(dz * z, axis=1)[:, None]
+                lam = (z_expectations_backward_batched(blocks, z_qubits,
+                                                       n_data, dz)
+                       - weighted * blocks) / safe_totals
+            lam[~active] = 0.0
+            total_loss = float(per_block_loss[active].sum()) / n_samples
+            return np.array([total_loss]), lam.reshape(1, -1)
 
-        loss, theta_grad = circuit_gradients(self.circuit, self.theta.data,
-                                             state, loss_head,
-                                             backend=self.backend)
-        gradients = {"theta": theta_grad}
+        target_array_padded = np.zeros((self.batch_capacity, depth, width))
+        target_array_padded[:n_samples] = target_array
+        losses, theta_grads = circuit_gradients_batched(
+            self.circuit, self.theta.data, state.reshape(1, -1), loss_head,
+            backend=self.backend)
+        gradients = {"theta": theta_grads[0]}
         if self.config.decoder == "pixel" and self.config.trainable_output_scale:
             gradients["output_scale"] = scale_grad / n_samples
-        return loss, gradients
-
-    def _outcome_map(self, local_qubits: Sequence[int], n_data: int) -> np.ndarray:
-        """Map each block entry to its read-out outcome index."""
-        indices = np.arange(2**n_data)
-        outcome = np.zeros_like(indices)
-        for position, qubit in enumerate(local_qubits):
-            bit = (indices >> (n_data - 1 - qubit)) & 1
-            outcome |= bit << (len(local_qubits) - 1 - position)
-        return outcome
+        return float(losses[0]), gradients
 
     def accumulate_gradients(self, seismic_batch: Sequence[np.ndarray],
                              targets: Sequence[np.ndarray],

@@ -62,8 +62,9 @@ def evaluate_predictions(predictions: np.ndarray,
     """Average SSIM and MSE of a batch of predicted velocity maps."""
     if predictions.shape != targets.shape:
         raise ValueError("prediction/target shape mismatch")
-    ssim_values = [ssim(pred, target, data_range=1.0)
-                   for pred, target in zip(predictions, targets)]
+    # ssim broadcasts over the leading axis of an (N, H, W) stack, so the
+    # whole batch is scored with one set of filter passes.
+    ssim_values = ssim(predictions, targets, data_range=1.0)
     return {"ssim": float(np.mean(ssim_values)),
             "mse": mse(predictions, targets)}
 
@@ -98,6 +99,15 @@ class QuantumTrainer:
                                       eta_min=config.eta_min)
         uses_qubatch = isinstance(model, QuBatchVQC)
         batch_size = model.batch_capacity if uses_qubatch else config.batch_size
+        # One stacked forward/backward sweep per mini-batch whenever the
+        # model and its backend support the batched adjoint path; otherwise
+        # fall back to the per-sample loop (the two produce matching
+        # gradients — see tests/test_batched_gradients.py).
+        use_batched_gradients = (
+            not uses_qubatch
+            and hasattr(model, "accumulate_gradients_batch")
+            and getattr(model, "backend", None) is not None
+            and model.backend.capabilities.batched_adjoint)
 
         n_samples = seismic.shape[0]
         for epoch in range(config.epochs):
@@ -112,8 +122,10 @@ class QuantumTrainer:
                 optimizer.zero_grad()
                 if uses_qubatch:
                     batch_loss = model.accumulate_gradients(
-                        [seismic[i] for i in batch],
-                        [velocity[i] for i in batch])
+                        seismic[batch], velocity[batch])
+                elif use_batched_gradients:
+                    batch_loss = model.accumulate_gradients_batch(
+                        seismic[batch], velocity[batch])
                 else:
                     weight = 1.0 / len(batch)
                     batch_loss = 0.0
@@ -144,16 +156,13 @@ class QuantumTrainer:
                   seismic: np.ndarray, velocity: np.ndarray,
                   split: str = "test") -> Dict[str, float]:
         if isinstance(model, QuBatchVQC):
-            predictions = []
             capacity = model.batch_capacity
-            for start in range(0, seismic.shape[0], capacity):
-                chunk = [seismic[i] for i in range(start,
-                                                   min(start + capacity,
-                                                       seismic.shape[0]))]
-                predictions.append(model.predict_batch(chunk))
-            predictions = np.concatenate(predictions, axis=0)
+            predictions = np.concatenate(
+                [model.predict_batch(seismic[start:start + capacity])
+                 for start in range(0, seismic.shape[0], capacity)],
+                axis=0)
         else:
-            predictions = model.predict_batch(list(seismic))
+            predictions = model.predict_batch(seismic)
         metrics = evaluate_predictions(predictions, velocity)
         return {f"{split}_ssim": metrics["ssim"],
                 f"{split}_mse": metrics["mse"]}

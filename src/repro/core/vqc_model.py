@@ -18,7 +18,11 @@ The model is the composition described in Section 3.2 of the paper:
 Gradients with respect to the circuit parameters are computed with the
 reverse-mode (adjoint) method in :mod:`repro.quantum.autodiff`, so a full
 gradient costs roughly two circuit simulations regardless of the parameter
-count.
+count.  Mini-batches go through :meth:`QuGeoVQC.loss_and_gradients_batch`,
+which runs the whole batch as one stacked forward/backward sweep
+(:func:`repro.quantum.autodiff.circuit_gradients_batched`) with vectorised
+per-decoder loss heads; the per-sample API is a batch of one through the
+same path.
 """
 
 from __future__ import annotations
@@ -31,14 +35,16 @@ from repro.backends import get_backend
 from repro.core.config import QuGeoVQCConfig
 from repro.nn.tensor import Tensor
 from repro.quantum.ansatz import grouped_st_ansatz, u3_cu3_ansatz
-from repro.quantum.autodiff import circuit_gradients
+from repro.quantum.autodiff import circuit_gradients_batched
 from repro.quantum.circuit import ParameterizedCircuit
 from repro.quantum.encoding import STEncoder
 from repro.quantum.measurement import (
     marginal_probabilities,
-    marginal_probabilities_backward,
+    marginal_probabilities_backward_batched,
+    marginal_probabilities_batched,
     z_expectations,
-    z_expectations_backward,
+    z_expectations_backward_batched,
+    z_expectations_batched,
 )
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -165,60 +171,113 @@ class QuGeoVQC:
     # ------------------------------------------------------------------ #
     # loss and gradients
     # ------------------------------------------------------------------ #
+    def _pixel_loss_terms(self, outputs: np.ndarray, targets: np.ndarray
+                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised pixel-decoder loss terms of an output-state stack.
+
+        A pure function of ``(outputs, targets)``: returns per-sample losses
+        ``(B,)``, the co-state stack ``dL_b/d(psi_b*)`` of shape
+        ``(B, 2**n)``, and the per-sample read-out-scale gradients ``(B,)``
+        — the scale gradient is an explicit return value, never a closure
+        side effect, so probing these terms repeatedly (finite differences,
+        parameter-shift sweeps) cannot clobber it.
+        """
+        depth, width = self.config.output_shape
+        scale = float(self.output_scale.data[0])
+        probs = marginal_probabilities_batched(outputs, self.readout_qubits,
+                                               self.n_qubits)
+        amplitudes = np.sqrt(probs[:, :depth * width] + _EPS)
+        predictions = (scale * amplitudes).reshape(-1, depth, width)
+        diffs = predictions - targets
+        flat_diffs = diffs.reshape(diffs.shape[0], -1)
+        losses = np.mean(flat_diffs**2, axis=1)
+        dloss_dpred = 2.0 * flat_diffs / flat_diffs.shape[1]
+        scale_grads = np.sum(dloss_dpred * amplitudes, axis=1)
+        dloss_dprob = np.zeros_like(probs)
+        dloss_dprob[:, :depth * width] = dloss_dpred * scale * 0.5 / amplitudes
+        lams = marginal_probabilities_backward_batched(
+            outputs, self.readout_qubits, self.n_qubits, dloss_dprob)
+        return losses, lams, scale_grads
+
+    def _layer_loss_terms(self, outputs: np.ndarray, targets: np.ndarray
+                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised layer-decoder loss terms of an output-state stack."""
+        depth, width = self.config.output_shape
+        z = z_expectations_batched(outputs, self.readout_qubits, self.n_qubits)
+        rows = (z + 1.0) / 2.0
+        diffs = rows[:, :, None] - targets
+        losses = np.mean(diffs.reshape(diffs.shape[0], -1)**2, axis=1)
+        dloss_dpred = 2.0 * diffs / (depth * width)
+        dloss_dz = 0.5 * dloss_dpred.sum(axis=2)
+        lams = z_expectations_backward_batched(outputs, self.readout_qubits,
+                                               self.n_qubits, dloss_dz)
+        return losses, lams, np.zeros(outputs.shape[0])
+
+    def _loss_terms(self, outputs: np.ndarray, targets: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-decoder ``(losses, co-states, scale gradients)`` of a stack."""
+        if self.config.decoder == "pixel":
+            return self._pixel_loss_terms(outputs, targets)
+        return self._layer_loss_terms(outputs, targets)
+
+    def _validate_targets(self, targets, batch: int) -> np.ndarray:
+        depth, width = self.config.output_shape
+        targets = np.stack([np.asarray(t, dtype=np.float64) for t in targets])
+        if targets.shape != (batch, depth, width):
+            raise ValueError(
+                f"target shape {targets.shape[1:]} != {(depth, width)}")
+        return targets
+
+    def loss_and_gradients_batch(self, seismic_batch: Sequence[np.ndarray],
+                                 targets: Sequence[np.ndarray]
+                                 ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """Per-sample losses and gradients of a whole mini-batch.
+
+        Runs one stacked forward pass and one stacked adjoint sweep
+        (:func:`repro.quantum.autodiff.circuit_gradients_batched`) instead of
+        a Python loop over samples; on a backend without native
+        ``batched_adjoint`` support the engine falls back to per-sample
+        loops and stays correct.
+
+        Returns the ``(B,)`` loss vector and a dict with a ``(B, n_params)``
+        ``"theta"`` gradient matrix and (for the trainable pixel decoder) a
+        ``(B,)`` ``"output_scale"`` gradient vector.
+        """
+        if len(seismic_batch) == 0:
+            raise ValueError("empty batch")
+        target_array = self._validate_targets(targets, len(seismic_batch))
+        states = np.stack([self.encode(sample) for sample in seismic_batch])
+        extras: Dict[str, np.ndarray] = {}
+
+        def loss_head(outputs: np.ndarray):
+            losses, lams, scale_grads = self._loss_terms(outputs, target_array)
+            # circuit_gradients_batched invokes the head exactly once, on the
+            # full batch, so this capture is single-assignment by contract.
+            extras["output_scale"] = scale_grads
+            return losses, lams
+
+        losses, theta_grads = circuit_gradients_batched(
+            self.circuit, self.theta.data, states, loss_head,
+            backend=self.backend)
+        gradients = {"theta": theta_grads}
+        if self.config.decoder == "pixel" and self.config.trainable_output_scale:
+            gradients["output_scale"] = extras["output_scale"]
+        return losses, gradients
+
     def loss_and_gradients(self, seismic: np.ndarray,
                            target: np.ndarray) -> Tuple[float, Dict[str, np.ndarray]]:
         """Loss and parameter gradients for one (seismic, velocity) pair.
 
         Returns the scalar loss and a dict with gradients for ``"theta"`` and
-        (for the pixel decoder) ``"output_scale"``.
+        (for the pixel decoder) ``"output_scale"``.  Implemented as a batch
+        of one through the stacked gradient path.
         """
-        target = np.asarray(target, dtype=np.float64)
-        depth, width = self.config.output_shape
-        if target.shape != (depth, width):
-            raise ValueError(f"target shape {target.shape} != {(depth, width)}")
-        state = self.encode(seismic)
-        scale_grad = np.zeros(1)
-
-        if self.config.decoder == "pixel":
-            readout = self.readout_qubits
-            scale = float(self.output_scale.data[0])
-
-            def loss_head(psi: np.ndarray):
-                probs = marginal_probabilities(psi, readout, self.n_qubits)
-                amplitudes = np.sqrt(probs[:depth * width] + _EPS)
-                prediction = (scale * amplitudes).reshape(depth, width)
-                diff = prediction - target
-                loss = float(np.mean(diff**2))
-                dloss_dpred = 2.0 * diff / diff.size
-                dloss_damp = (dloss_dpred.reshape(-1) * scale)
-                scale_grad[0] = float(np.sum(dloss_dpred.reshape(-1) * amplitudes))
-                dloss_dprob = np.zeros_like(probs)
-                dloss_dprob[:depth * width] = dloss_damp * 0.5 / amplitudes
-                lam = marginal_probabilities_backward(psi, readout, self.n_qubits,
-                                                      dloss_dprob)
-                return loss, lam
-        else:
-            readout = self.readout_qubits
-
-            def loss_head(psi: np.ndarray):
-                z = z_expectations(psi, readout, self.n_qubits)
-                rows = (z + 1.0) / 2.0
-                prediction = np.repeat(rows[:, None], width, axis=1)
-                diff = prediction - target
-                loss = float(np.mean(diff**2))
-                dloss_dpred = 2.0 * diff / diff.size
-                dloss_drows = dloss_dpred.sum(axis=1)
-                dloss_dz = 0.5 * dloss_drows
-                lam = z_expectations_backward(psi, readout, self.n_qubits, dloss_dz)
-                return loss, lam
-
-        loss, theta_grad = circuit_gradients(self.circuit, self.theta.data,
-                                             state, loss_head,
-                                             backend=self.backend)
-        gradients = {"theta": theta_grad}
-        if self.config.decoder == "pixel" and self.config.trainable_output_scale:
-            gradients["output_scale"] = scale_grad.copy()
-        return loss, gradients
+        losses, batch_gradients = self.loss_and_gradients_batch([seismic],
+                                                                [target])
+        gradients = {"theta": batch_gradients["theta"][0]}
+        if "output_scale" in batch_gradients:
+            gradients["output_scale"] = batch_gradients["output_scale"].copy()
+        return float(losses[0]), gradients
 
     def accumulate_gradients(self, seismic: np.ndarray,
                              target: np.ndarray, weight: float = 1.0) -> float:
@@ -236,6 +295,29 @@ class QuGeoVQC:
             else:
                 self.output_scale.grad = self.output_scale.grad + scale_grad
         return loss
+
+    def accumulate_gradients_batch(self, seismic_batch: Sequence[np.ndarray],
+                                   targets: Sequence[np.ndarray]) -> float:
+        """Accumulate the batch-mean gradients into the parameter tensors.
+
+        Equivalent to calling :meth:`accumulate_gradients` on every sample
+        with ``weight = 1 / B``, but computed with one stacked
+        forward/backward sweep.  Returns the mean loss over the batch.
+        """
+        losses, gradients = self.loss_and_gradients_batch(seismic_batch,
+                                                          targets)
+        theta_grad = gradients["theta"].mean(axis=0)
+        if self.theta.grad is None:
+            self.theta.grad = theta_grad
+        else:
+            self.theta.grad = self.theta.grad + theta_grad
+        if "output_scale" in gradients:
+            scale_grad = np.array([gradients["output_scale"].mean()])
+            if self.output_scale.grad is None:
+                self.output_scale.grad = scale_grad
+            else:
+                self.output_scale.grad = self.output_scale.grad + scale_grad
+        return float(losses.mean())
 
     # ------------------------------------------------------------------ #
     # serialisation

@@ -7,6 +7,12 @@ sliding window, the standard stabilising constants ``C1=(k1*L)^2`` and
 
 For small images (e.g. the 8x8 velocity maps used after QuGeoData scaling)
 the window is automatically shrunk so that it never exceeds the image.
+
+Both :func:`ssim` and :func:`ssim_map` also accept an ``(N, H, W)`` stack of
+images: the sliding-window filters then run over the last two axes only
+(one pass per spatial axis, vectorised over the batch), so scoring a whole
+batch of predictions costs the same filter passes as one image.  For a stack
+:func:`ssim` returns the per-image mean-SSIM vector of shape ``(N,)``.
 """
 
 from __future__ import annotations
@@ -21,8 +27,8 @@ def _validate(a, b):
     b = np.asarray(b, dtype=np.float64)
     if a.shape != b.shape:
         raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
-    if a.ndim != 2:
-        raise ValueError("ssim expects 2-D images")
+    if a.ndim not in (2, 3):
+        raise ValueError("ssim expects 2-D images or (N, H, W) stacks")
     return a, b
 
 
@@ -35,10 +41,13 @@ def ssim_map(image: np.ndarray, reference: np.ndarray, *,
     Parameters
     ----------
     image, reference:
-        2-D arrays of equal shape.
+        2-D arrays of equal shape, or ``(N, H, W)`` stacks of images; for a
+        stack the windows slide over the trailing two axes only and the
+        returned map has the same ``(N, H, W)`` shape.
     data_range:
         Dynamic range ``L``.  Defaults to the range of ``reference`` (or 1 if
-        the reference is constant).
+        the reference is constant); for a stack the default range is computed
+        per image.
     window_size:
         Side length of the sliding window; clipped to the image size.
     gaussian:
@@ -46,27 +55,40 @@ def ssim_map(image: np.ndarray, reference: np.ndarray, *,
         ``True``; a uniform window otherwise.
     """
     image, reference = _validate(image, reference)
+    batched = image.ndim == 3
+    spatial = image.shape[-2:]
     if data_range is None:
-        data_range = float(reference.max() - reference.min())
-        if data_range == 0:
-            data_range = 1.0
-    if data_range <= 0:
+        if batched:
+            flat = reference.reshape(reference.shape[0], -1)
+            data_range = flat.max(axis=1) - flat.min(axis=1)
+            data_range = np.where(data_range == 0, 1.0, data_range)[:, None, None]
+        else:
+            data_range = float(reference.max() - reference.min())
+            if data_range == 0:
+                data_range = 1.0
+    if np.any(np.asarray(data_range) <= 0):
         raise ValueError("data_range must be positive")
 
-    window_size = int(min(window_size, min(image.shape)))
+    window_size = int(min(window_size, min(spatial)))
     if window_size < 1:
         raise ValueError("window_size must be at least 1")
 
     if gaussian:
         # Truncate the Gaussian so its footprint matches window_size.
         truncate = max((window_size - 1) / 2.0, 0.5) / sigma
+        # A zero sigma on the leading axis keeps a batch of images
+        # independent: the filter reduces to per-axis 1-D passes over the
+        # spatial axes only.
+        sigmas = (0, sigma, sigma) if batched else sigma
 
         def smooth(x):
-            return gaussian_filter(x, sigma=sigma, truncate=truncate, mode="reflect")
+            return gaussian_filter(x, sigma=sigmas, truncate=truncate,
+                                   mode="reflect")
     else:
+        sizes = (1, window_size, window_size) if batched else window_size
 
         def smooth(x):
-            return uniform_filter(x, size=window_size, mode="reflect")
+            return uniform_filter(x, size=sizes, mode="reflect")
 
     c1 = (k1 * data_range) ** 2
     c2 = (k2 * data_range) ** 2
@@ -86,10 +108,15 @@ def ssim_map(image: np.ndarray, reference: np.ndarray, *,
     return numerator / denominator
 
 
-def ssim(image: np.ndarray, reference: np.ndarray, **kwargs) -> float:
+def ssim(image: np.ndarray, reference: np.ndarray, **kwargs):
     """Mean SSIM between ``image`` and ``reference``.
 
     Accepts the same keyword arguments as :func:`ssim_map`.  Identical inputs
-    give exactly 1.0; structurally unrelated inputs approach 0.
+    give exactly 1.0; structurally unrelated inputs approach 0.  For an
+    ``(N, H, W)`` stack the per-image means are returned as an ``(N,)``
+    array.
     """
-    return float(np.mean(ssim_map(image, reference, **kwargs)))
+    values = ssim_map(image, reference, **kwargs)
+    if values.ndim == 3:
+        return values.mean(axis=(1, 2))
+    return float(np.mean(values))

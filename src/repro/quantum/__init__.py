@@ -25,7 +25,9 @@ from repro.quantum.gates import GATES, apply_matrix
 from repro.quantum.parametric import PARAMETRIC_GATES, u3_matrix, cu3_matrix
 from repro.quantum.measurement import (
     z_expectations,
+    z_expectations_batched,
     marginal_probabilities,
+    marginal_probabilities_batched,
     all_probabilities,
 )
 from repro.quantum.encoding import (
@@ -33,7 +35,11 @@ from repro.quantum.encoding import (
     STEncoder,
     QuBatchEncoder,
 )
-from repro.quantum.autodiff import circuit_gradients, parameter_shift_gradients
+from repro.quantum.autodiff import (
+    circuit_gradients,
+    circuit_gradients_batched,
+    parameter_shift_gradients,
+)
 from repro.quantum.ansatz import u3_cu3_ansatz, grouped_st_ansatz
 
 __all__ = [
@@ -46,12 +52,15 @@ __all__ = [
     "u3_matrix",
     "cu3_matrix",
     "z_expectations",
+    "z_expectations_batched",
     "marginal_probabilities",
+    "marginal_probabilities_batched",
     "all_probabilities",
     "amplitude_encode",
     "STEncoder",
     "QuBatchEncoder",
     "circuit_gradients",
+    "circuit_gradients_batched",
     "parameter_shift_gradients",
     "u3_cu3_ansatz",
     "grouped_st_ansatz",

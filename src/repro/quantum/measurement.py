@@ -13,10 +13,19 @@ reverse-mode differentiation in :mod:`repro.quantum.autodiff`: for a real
 loss ``L`` of the complex state ``psi``, the gradient with respect to a
 circuit parameter is ``2 Re(lambda^dagger dU/dtheta psi)`` where ``lambda =
 dL/d(psi*)``.
+
+Every read-out comes in two forms: the scalar one taking a single state of
+length ``2**n`` and a ``*_batched`` twin taking a ``(batch, 2**n)`` stack
+and vectorising over the leading axis.  The batched forms feed the stacked
+adjoint sweep in :func:`repro.quantum.autodiff.circuit_gradients_batched`.
+The index material both need — the ``(len(qubits), 2**n)`` Z-sign matrix and
+the basis-index -> outcome-index map of a marginal — depends only on
+``(n_qubits, qubits)`` and is memoised.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -33,6 +42,53 @@ def _bit_signs(n_qubits: int, qubit: int) -> np.ndarray:
     return 1.0 - 2.0 * bit
 
 
+@lru_cache(maxsize=None)
+def _sign_matrix(n_qubits: int, qubits: Tuple[int, ...]) -> np.ndarray:
+    """Memoised ``(len(qubits), 2**n)`` matrix of per-qubit basis signs.
+
+    Row ``r`` is :func:`_bit_signs` of ``qubits[r]``, so Z expectations of
+    every read-out qubit reduce to one matmul with the probability vector
+    instead of rebuilding the sign array per qubit per call.
+    """
+    for qubit in qubits:
+        if not 0 <= qubit < n_qubits:
+            raise ValueError(f"qubit {qubit} outside register")
+    signs = np.empty((len(qubits), 2**n_qubits))
+    for row, qubit in enumerate(qubits):
+        signs[row] = _bit_signs(n_qubits, qubit)
+    signs.setflags(write=False)
+    return signs
+
+
+@lru_cache(maxsize=None)
+def _outcome_indices(n_qubits: int, qubits: Tuple[int, ...]) -> np.ndarray:
+    """Memoised map from each basis index to its marginal outcome index.
+
+    Entry ``j`` is the outcome of measuring ``qubits`` on basis state ``j``
+    (``qubits[0]`` as the outcome's most significant bit).
+    """
+    if len(set(qubits)) != len(qubits):
+        raise ValueError("duplicate qubits")
+    for qubit in qubits:
+        if not 0 <= qubit < n_qubits:
+            raise ValueError(f"qubit {qubit} outside register")
+    indices = np.arange(2**n_qubits)
+    outcome = np.zeros_like(indices)
+    for position, qubit in enumerate(qubits):
+        bit = (indices >> (n_qubits - 1 - qubit)) & 1
+        outcome |= bit << (len(qubits) - 1 - position)
+    outcome.setflags(write=False)
+    return outcome
+
+
+def _validate_batched(states: np.ndarray, n_qubits: int) -> np.ndarray:
+    states = np.asarray(states, dtype=np.complex128)
+    if states.ndim != 2 or states.shape[1] != 2**n_qubits:
+        raise ValueError(
+            f"states must have shape (batch, {2**n_qubits}), got {states.shape}")
+    return states
+
+
 def all_probabilities(state: np.ndarray) -> np.ndarray:
     """Probabilities of every computational basis state."""
     state = np.asarray(state)
@@ -46,12 +102,18 @@ def z_expectations(state: np.ndarray, qubits: Sequence[int],
     if state.size != 2**n_qubits:
         raise ValueError("state length does not match n_qubits")
     probs = np.abs(state) ** 2
-    values = []
-    for qubit in qubits:
-        if not 0 <= qubit < n_qubits:
-            raise ValueError(f"qubit {qubit} outside register")
-        values.append(float(np.dot(_bit_signs(n_qubits, qubit), probs)))
-    return np.array(values)
+    return _sign_matrix(n_qubits, tuple(int(q) for q in qubits)) @ probs
+
+
+def z_expectations_batched(states: np.ndarray, qubits: Sequence[int],
+                           n_qubits: int) -> np.ndarray:
+    """Per-state Z expectations of a ``(batch, 2**n)`` stack.
+
+    Returns an array of shape ``(batch, len(qubits))``.
+    """
+    states = _validate_batched(states, n_qubits)
+    probs = np.abs(states) ** 2
+    return probs @ _sign_matrix(n_qubits, tuple(int(q) for q in qubits)).T
 
 
 def z_expectations_backward(state: np.ndarray, qubits: Sequence[int],
@@ -62,10 +124,24 @@ def z_expectations_backward(state: np.ndarray, qubits: Sequence[int],
     grad_output = np.asarray(grad_output, dtype=np.float64).reshape(-1)
     if grad_output.size != len(qubits):
         raise ValueError("grad_output length must match number of qubits")
-    lam = np.zeros_like(state)
-    for qubit, g in zip(qubits, grad_output):
-        lam += g * _bit_signs(n_qubits, qubit) * state
-    return lam
+    signs = _sign_matrix(n_qubits, tuple(int(q) for q in qubits))
+    return (grad_output @ signs) * state
+
+
+def z_expectations_backward_batched(states: np.ndarray, qubits: Sequence[int],
+                                    n_qubits: int,
+                                    grad_outputs: np.ndarray) -> np.ndarray:
+    """Batched :func:`z_expectations_backward`.
+
+    ``grad_outputs`` has shape ``(batch, len(qubits))``; the returned co-state
+    stack has shape ``(batch, 2**n)``.
+    """
+    states = _validate_batched(states, n_qubits)
+    grad_outputs = np.asarray(grad_outputs, dtype=np.float64)
+    if grad_outputs.shape != (states.shape[0], len(qubits)):
+        raise ValueError("grad_outputs must have shape (batch, len(qubits))")
+    signs = _sign_matrix(n_qubits, tuple(int(q) for q in qubits))
+    return (grad_outputs @ signs) * states
 
 
 def marginal_probabilities(state: np.ndarray, qubits: Sequence[int],
@@ -94,6 +170,29 @@ def marginal_probabilities(state: np.ndarray, qubits: Sequence[int],
     return marginal.reshape(-1)
 
 
+def marginal_probabilities_batched(states: np.ndarray, qubits: Sequence[int],
+                                   n_qubits: int) -> np.ndarray:
+    """Batched :func:`marginal_probabilities`.
+
+    Returns a ``(batch, 2**len(qubits))`` matrix of per-state marginals.
+    """
+    states = _validate_batched(states, n_qubits)
+    qubits = tuple(int(q) for q in qubits)
+    if len(set(qubits)) != len(qubits):
+        raise ValueError("duplicate qubits")
+    for q in qubits:
+        if not 0 <= q < n_qubits:
+            raise ValueError(f"qubit {q} outside register")
+    batch = states.shape[0]
+    probs = (np.abs(states) ** 2).reshape((batch,) + (2,) * n_qubits)
+    others = tuple(q + 1 for q in range(n_qubits) if q not in qubits)
+    marginal = probs.sum(axis=others) if others else probs
+    remaining_order = [q for q in range(n_qubits) if q in qubits]
+    permutation = [0] + [remaining_order.index(q) + 1 for q in qubits]
+    marginal = np.transpose(marginal, permutation)
+    return marginal.reshape(batch, -1)
+
+
 def marginal_probabilities_backward(state: np.ndarray, qubits: Sequence[int],
                                     n_qubits: int,
                                     grad_output: np.ndarray) -> np.ndarray:
@@ -106,12 +205,25 @@ def marginal_probabilities_backward(state: np.ndarray, qubits: Sequence[int],
         raise ValueError("grad_output length must be 2**len(qubits)")
     # Each basis state j contributes |psi_j|^2 to exactly one outcome k(j);
     # dL/d(psi*_j) = grad_output[k(j)] * psi_j.
-    indices = np.arange(2**n_qubits)
-    outcome = np.zeros_like(indices)
-    for position, qubit in enumerate(qubits):
-        bit = (indices >> (n_qubits - 1 - qubit)) & 1
-        outcome |= bit << (len(qubits) - 1 - position)
-    return grad_output[outcome] * state
+    return grad_output[_outcome_indices(n_qubits, qubits)] * state
+
+
+def marginal_probabilities_backward_batched(states: np.ndarray,
+                                            qubits: Sequence[int],
+                                            n_qubits: int,
+                                            grad_outputs: np.ndarray
+                                            ) -> np.ndarray:
+    """Batched :func:`marginal_probabilities_backward`.
+
+    ``grad_outputs`` has shape ``(batch, 2**len(qubits))``; the returned
+    co-state stack has shape ``(batch, 2**n)``.
+    """
+    states = _validate_batched(states, n_qubits)
+    qubits = tuple(int(q) for q in qubits)
+    grad_outputs = np.asarray(grad_outputs, dtype=np.float64)
+    if grad_outputs.shape != (states.shape[0], 2**len(qubits)):
+        raise ValueError("grad_outputs must have shape (batch, 2**len(qubits))")
+    return grad_outputs[:, _outcome_indices(n_qubits, qubits)] * states
 
 
 def sample_counts(state: np.ndarray, n_shots: int,
