@@ -8,7 +8,8 @@
 * :mod:`repro.core.qubatch` — QuBatch batched forward/backward passes,
 * :mod:`repro.core.classical_models` — parameter-matched CNN baselines
   (CNN-PX / CNN-LY) and the Q-D-CNN compressor,
-* :mod:`repro.core.training` — trainers for quantum and classical models,
+* :mod:`repro.core.training` — the unified callback-driven training engine
+  (one :class:`Trainer`, pluggable step strategies, checkpoint/resume),
 * :mod:`repro.core.experiment` — per-figure / per-table experiment harness,
 * :mod:`repro.core.framework` — the end-to-end :class:`QuGeo` pipeline.
 """
@@ -34,11 +35,36 @@ from repro.core.classical_models import (
     CompressionCNN,
     ClassicalFWIModel,
 )
-from repro.core.training import QuantumTrainer, ClassicalTrainer, TrainingResult
+from repro.core.training import (
+    BestModelTracker,
+    Callback,
+    Checkpoint,
+    ClassicalTrainer,
+    EarlyStopping,
+    EvalCallback,
+    Model,
+    QuantumTrainer,
+    StepStrategy,
+    Trainer,
+    TrainingResult,
+    predict_in_batches,
+    select_step_strategy,
+)
 from repro.core.framework import QuGeo
-from repro.core.experiment import ExperimentResult, evaluate_model
+from repro.core.experiment import ExperimentResult, evaluate_model, train_model
 
 __all__ = [
+    "Trainer",
+    "Model",
+    "StepStrategy",
+    "select_step_strategy",
+    "predict_in_batches",
+    "Callback",
+    "EvalCallback",
+    "EarlyStopping",
+    "BestModelTracker",
+    "Checkpoint",
+    "train_model",
     "QuGeoDataConfig",
     "QuGeoVQCConfig",
     "TrainingConfig",

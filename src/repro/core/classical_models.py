@@ -18,7 +18,7 @@ quantum models uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -68,6 +68,23 @@ class ClassicalFWIModel:
     def num_parameters(self) -> int:
         """Number of trainable parameters of the wrapped network."""
         return self.network.num_parameters()
+
+    # -- Model protocol (shared with the quantum models) ----------------- #
+    def parameter_tensors(self) -> Tuple[Tensor, ...]:
+        """Tensors the optimiser updates."""
+        return tuple(self.network.parameters())
+
+    def predict_batch(self, seismic_batch) -> np.ndarray:
+        """Alias of :meth:`predict_velocity` under the common Model protocol."""
+        return self.predict_velocity(np.asarray(seismic_batch, dtype=np.float64))
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of the wrapped network's tensors."""
+        return self.network.state_dict()
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load arrays produced by :meth:`state_dict`."""
+        self.network.load_state_dict(state)
 
     def prepare_input(self, seismic: np.ndarray) -> np.ndarray:
         """Reshape one (or a batch of) flat seismic vectors to the input image."""
@@ -218,6 +235,7 @@ class CompressionCNN(Module):
         self.input_shape = (int(n_sources), int(n_time), int(n_receivers))
         self.output_size = int(output_size)
         c1, c2 = hidden_channels
+        self.hidden_channels = (int(c1), int(c2))
 
         pool1 = 2 if min(n_time, n_receivers) >= 8 else 1
         after1 = (n_time // pool1, n_receivers // pool1)

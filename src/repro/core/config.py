@@ -168,6 +168,10 @@ class TrainingConfig:
     The paper trains every model for 500 epochs with Adam, an initial
     learning rate of 0.1 and cosine annealing.  The reproduction exposes all
     of it so tests and benches can run shorter schedules.
+
+    ``eval_batch_size`` bounds how many samples run through the model at
+    once during test-set evaluation (peak-memory control for large test
+    sets); ``None`` evaluates in a single pass.
     """
 
     epochs: int = 500
@@ -177,6 +181,7 @@ class TrainingConfig:
     seed: int = 0
     verbose: bool = False
     eval_every: int = 10
+    eval_batch_size: Optional[int] = 256
 
     def __post_init__(self) -> None:
         if self.epochs <= 0:
@@ -187,6 +192,8 @@ class TrainingConfig:
             raise ValueError("batch_size must be positive")
         if self.eval_every <= 0:
             raise ValueError("eval_every must be positive")
+        if self.eval_batch_size is not None and self.eval_batch_size <= 0:
+            raise ValueError("eval_batch_size must be positive or None")
 
 
 @dataclass
@@ -208,3 +215,26 @@ class QuGeoConfig:
                 f"encoder capacity {self.vqc.input_size}")
         if tuple(self.data.scaled_velocity_shape) != tuple(self.vqc.output_shape):
             raise ValueError("data and VQC disagree on the velocity-map shape")
+
+
+# --------------------------------------------------------------------------- #
+# (de)serialisation — saved pipelines and checkpoints embed their config
+# --------------------------------------------------------------------------- #
+def config_to_dict(config: QuGeoConfig) -> dict:
+    """Plain-dict form of a :class:`QuGeoConfig` (for checkpoints/pipelines)."""
+    from dataclasses import asdict
+    return asdict(config)
+
+
+def config_from_dict(payload: dict) -> QuGeoConfig:
+    """Rebuild a :class:`QuGeoConfig` from :func:`config_to_dict` output."""
+    def _clean(section: dict) -> dict:
+        return {key: (tuple(value) if isinstance(value, list) else value)
+                for key, value in section.items()}
+
+    return QuGeoConfig(
+        data=QuGeoDataConfig(**_clean(payload["data"])),
+        vqc=QuGeoVQCConfig(**_clean(payload["vqc"])),
+        training=TrainingConfig(**_clean(payload["training"])),
+        scaling_method=str(payload["scaling_method"]),
+    )

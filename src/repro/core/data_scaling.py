@@ -96,6 +96,11 @@ class BaseScaler:
         scaled = [self.scale_sample(sample) for sample in dataset]
         return FWIDataset(scaled, name=f"scaled-{self.name}")
 
+    # -- serialisation --------------------------------------------------- #
+    def state_dict(self) -> dict:
+        """Everything beyond the config needed to rebuild this scaler."""
+        return {}
+
     #: Velocity-map resampling method used by :meth:`scale_sample`.
     velocity_method = "nearest"
 
@@ -176,6 +181,10 @@ class ForwardModelingScaler(BaseScaler):
         # Decimate the time axis to the target number of samples.
         time_indices = np.linspace(0, self.simulation_steps - 1, n_time).astype(int)
         return gather[:, time_indices, :]
+
+    def state_dict(self) -> dict:
+        return {"simulation_shape": self.simulation_shape,
+                "simulation_steps": self.simulation_steps}
 
 
 class CNNScaler(BaseScaler):
@@ -258,7 +267,43 @@ class CNNScaler(BaseScaler):
                                                          dtype=np.float64))
         return compressed.reshape(self.config.scaled_seismic_shape)
 
+    def state_dict(self) -> dict:
+        return {"input_shape": self.compressor.input_shape,
+                "output_size": self.compressor.output_size,
+                "hidden_channels": self.compressor.hidden_channels,
+                "network": self.compressor.state_dict()}
+
 
 def scale_dataset(scaler: BaseScaler, dataset: Iterable[FWISample]) -> FWIDataset:
     """Convenience alias for ``scaler.scale_dataset(dataset)``."""
     return scaler.scale_dataset(dataset)
+
+
+# --------------------------------------------------------------------------- #
+# scaler (de)serialisation — saved pipelines carry their scaler with them
+# --------------------------------------------------------------------------- #
+def scaler_state(scaler: BaseScaler) -> dict:
+    """Self-describing snapshot of a scaler (method name + state)."""
+    return {"method": scaler.name, "state": scaler.state_dict()}
+
+
+def scaler_from_state(payload: dict,
+                      config: QuGeoDataConfig = None) -> BaseScaler:
+    """Rebuild a scaler from :func:`scaler_state` output and a data config."""
+    method = payload["method"]
+    state = payload.get("state", {})
+    if method == DSampleScaler.name:
+        return DSampleScaler(config)
+    if method == ForwardModelingScaler.name:
+        return ForwardModelingScaler(
+            config,
+            simulation_shape=tuple(state["simulation_shape"]),
+            simulation_steps=int(state["simulation_steps"]))
+    if method == CNNScaler.name:
+        compressor = CompressionCNN(
+            input_shape=tuple(state["input_shape"]),
+            output_size=int(state["output_size"]),
+            hidden_channels=tuple(state["hidden_channels"]))
+        compressor.load_state_dict(state["network"])
+        return CNNScaler(compressor, config)
+    raise ValueError(f"unknown scaler method {method!r}")

@@ -9,7 +9,7 @@ larger (still laptop-sized) budget.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -24,10 +24,11 @@ from repro.core.data_scaling import (
 )
 from repro.core.qubatch import QuBatchVQC
 from repro.core.training import (
-    ClassicalTrainer,
-    QuantumTrainer,
+    Callback,
+    Trainer,
     TrainingResult,
     evaluate_predictions,
+    predict_in_batches,
 )
 from repro.core.vqc_model import QuGeoVQC
 from repro.data.dataset import FWIDataset
@@ -76,22 +77,48 @@ def final_metric(outcome: TrainingResult, key: str) -> float:
 
 
 def evaluate_model(model: Union[QuGeoVQC, QuBatchVQC, ClassicalFWIModel],
-                   dataset: FWIDataset) -> Dict[str, float]:
-    """SSIM / MSE of ``model`` on a scaled dataset."""
+                   dataset: FWIDataset,
+                   batch_size: Optional[int] = 256) -> Dict[str, float]:
+    """SSIM / MSE of ``model`` on a scaled dataset.
+
+    Every model family satisfies the Model protocol's ``predict_batch``, so
+    the evaluation is one chunked pass regardless of the family.  The
+    default ``batch_size`` matches ``TrainingConfig.eval_batch_size`` so
+    peak memory stays bounded on large datasets; ``None`` evaluates in a
+    single pass.
+    """
     seismic = np.stack([sample.seismic.reshape(-1) for sample in dataset])
     velocity = np.stack([sample.velocity for sample in dataset])
-    if isinstance(model, ClassicalFWIModel):
-        predictions = model.predict_velocity(seismic)
-    elif isinstance(model, QuBatchVQC):
-        chunks = []
-        for start in range(0, seismic.shape[0], model.batch_capacity):
-            chunk = [seismic[i] for i in range(start, min(start + model.batch_capacity,
-                                                          seismic.shape[0]))]
-            chunks.append(model.predict_batch(chunk))
-        predictions = np.concatenate(chunks, axis=0)
-    else:
-        predictions = model.predict_batch(list(seismic))
+    predictions = predict_in_batches(model, seismic, batch_size=batch_size)
     return evaluate_predictions(predictions, velocity)
+
+
+def train_model(model, train_set: FWIDataset, test_set: Optional[FWIDataset],
+                training: TrainingConfig,
+                callbacks: Sequence[Callback] = ()) -> TrainingResult:
+    """Train any Model through the unified engine (one call site for all)."""
+    return Trainer(training).train(model, train_set, test_set,
+                                   callbacks=callbacks)
+
+
+def _result_row(model, dataset_label: str, outcome: TrainingResult,
+                extra_metrics: Optional[Dict[str, float]] = None,
+                keep_history: bool = False) -> ExperimentResult:
+    """Standard table row: final SSIM/MSE plus whatever a study adds."""
+    metrics = {"ssim": final_metric(outcome, "ssim"),
+               "mse": final_metric(outcome, "mse")}
+    if hasattr(model, "num_parameters"):
+        metrics["parameters"] = model.num_parameters()
+    if extra_metrics:
+        metrics.update(extra_metrics)
+    extras: Dict[str, object] = {"result": outcome}
+    if keep_history:
+        extras.update({"history_ssim": outcome.history("test_ssim"),
+                       "history_mse": outcome.history("test_mse"),
+                       "history_loss": outcome.history("train_loss")})
+    return ExperimentResult(model=getattr(model, "name", str(model)),
+                            dataset=dataset_label, metrics=metrics,
+                            extras=extras)
 
 
 # --------------------------------------------------------------------------- #
@@ -151,18 +178,8 @@ def compare_scaling_methods(scaled: Dict[str, Tuple[FWIDataset, FWIDataset]],
     results = []
     for method, (train_set, test_set) in scaled.items():
         model = QuGeoVQC(vqc_config, rng=rng)
-        trainer = QuantumTrainer(training)
-        outcome = trainer.train(model, train_set, test_set)
-        results.append(ExperimentResult(
-            model=model.name,
-            dataset=method,
-            metrics={"ssim": final_metric(outcome, "ssim"),
-                     "mse": final_metric(outcome, "mse"),
-                     "parameters": model.num_parameters()},
-            extras={"history_ssim": outcome.history("test_ssim"),
-                    "history_mse": outcome.history("test_mse"),
-                    "history_loss": outcome.history("train_loss"),
-                    "result": outcome}))
+        outcome = train_model(model, train_set, test_set, training)
+        results.append(_result_row(model, method, outcome, keep_history=True))
     return results
 
 
@@ -174,26 +191,11 @@ def compare_decoders(scaled: Dict[str, Tuple[FWIDataset, FWIDataset]],
     rng = ensure_rng(rng)
     results = []
     for decoder in ("pixel", "layer"):
-        config = QuGeoVQCConfig(
-            n_groups=base_config.n_groups,
-            qubits_per_group=base_config.qubits_per_group,
-            n_blocks=base_config.n_blocks,
-            decoder=decoder,
-            output_shape=base_config.output_shape,
-            inter_group_blocks=base_config.inter_group_blocks,
-            max_qubits=base_config.max_qubits,
-            trainable_output_scale=base_config.trainable_output_scale,
-        )
+        config = replace(base_config, decoder=decoder, n_batch_qubits=0)
         for method, (train_set, test_set) in scaled.items():
             model = QuGeoVQC(config, rng=rng)
-            outcome = QuantumTrainer(training).train(model, train_set, test_set)
-            results.append(ExperimentResult(
-                model=model.name,
-                dataset=method,
-                metrics={"ssim": final_metric(outcome, "ssim"),
-                         "mse": final_metric(outcome, "mse"),
-                         "parameters": model.num_parameters()},
-                extras={"result": outcome}))
+            outcome = train_model(model, train_set, test_set, training)
+            results.append(_result_row(model, method, outcome))
     return results
 
 
@@ -206,29 +208,16 @@ def qubatch_study(train_set: FWIDataset, test_set: FWIDataset,
     rng = ensure_rng(rng)
     results = []
     for n_batch_qubits in batch_qubit_counts:
-        config = QuGeoVQCConfig(
-            n_groups=base_config.n_groups,
-            qubits_per_group=base_config.qubits_per_group,
-            n_blocks=base_config.n_blocks,
-            decoder=base_config.decoder,
-            output_shape=base_config.output_shape,
-            n_batch_qubits=n_batch_qubits,
-            max_qubits=base_config.max_qubits,
-            trainable_output_scale=base_config.trainable_output_scale,
-        )
+        config = replace(base_config, n_batch_qubits=n_batch_qubits)
         if n_batch_qubits == 0:
             model: Union[QuGeoVQC, QuBatchVQC] = QuGeoVQC(config, rng=rng)
         else:
             model = QuBatchVQC(config, rng=rng)
-        outcome = QuantumTrainer(training).train(model, train_set, test_set)
-        results.append(ExperimentResult(
-            model=getattr(model, "name", "Q-M-LY"),
-            dataset="Q-D-FW",
-            metrics={"ssim": final_metric(outcome, "ssim"),
-                     "mse": final_metric(outcome, "mse"),
-                     "batch": 2**n_batch_qubits if n_batch_qubits else 0,
-                     "extra_qubits": n_batch_qubits},
-            extras={"result": outcome}))
+        outcome = train_model(model, train_set, test_set, training)
+        results.append(_result_row(
+            model, "Q-D-FW", outcome,
+            extra_metrics={"batch": 2**n_batch_qubits if n_batch_qubits else 0,
+                           "extra_qubits": n_batch_qubits}))
     return results
 
 
@@ -249,33 +238,15 @@ def quantum_vs_classical(scaled: Dict[str, Tuple[FWIDataset, FWIDataset]],
     for name, builder in builders.items():
         for method, (train_set, test_set) in scaled.items():
             model = builder()
-            outcome = ClassicalTrainer(training).train(model, train_set, test_set)
-            results.append(ExperimentResult(
-                model=name, dataset=method,
-                metrics={"ssim": final_metric(outcome, "ssim"),
-                         "mse": final_metric(outcome, "mse"),
-                         "parameters": model.num_parameters()},
-                extras={"result": outcome}))
+            outcome = train_model(model, train_set, test_set, training)
+            results.append(_result_row(model, method, outcome))
 
-    for decoder, label in (("pixel", "Q-M-PX"), ("layer", "Q-M-LY")):
-        config = QuGeoVQCConfig(
-            n_groups=vqc_config.n_groups,
-            qubits_per_group=vqc_config.qubits_per_group,
-            n_blocks=vqc_config.n_blocks,
-            decoder=decoder,
-            output_shape=vqc_config.output_shape,
-            max_qubits=vqc_config.max_qubits,
-            trainable_output_scale=vqc_config.trainable_output_scale,
-        )
+    for decoder in ("pixel", "layer"):
+        config = replace(vqc_config, decoder=decoder, n_batch_qubits=0)
         for method, (train_set, test_set) in scaled.items():
             model = QuGeoVQC(config, rng=rng)
-            outcome = QuantumTrainer(training).train(model, train_set, test_set)
-            results.append(ExperimentResult(
-                model=label, dataset=method,
-                metrics={"ssim": final_metric(outcome, "ssim"),
-                         "mse": final_metric(outcome, "mse"),
-                         "parameters": model.num_parameters()},
-                extras={"result": outcome}))
+            outcome = train_model(model, train_set, test_set, training)
+            results.append(_result_row(model, method, outcome))
     return results
 
 

@@ -15,23 +15,29 @@ as Figure 2 of the paper draws them:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.config import QuGeoConfig
+from repro.core.config import QuGeoConfig, config_from_dict, config_to_dict
 from repro.core.data_scaling import (
     BaseScaler,
     CNNScaler,
     DSampleScaler,
     ForwardModelingScaler,
+    scaler_from_state,
+    scaler_state,
 )
 from repro.core.qubatch import QuBatchVQC
-from repro.core.training import QuantumTrainer, TrainingResult
+from repro.core.training import Callback, Trainer, TrainingResult
 from repro.core.vqc_model import QuGeoVQC
 from repro.data.dataset import FWIDataset, FWISample
 from repro.data.normalization import VelocityNormalizer
+from repro.utils.logging import RunLogger
 from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.serialization import load_checkpoint, save_checkpoint
+
+PIPELINE_VERSION = 1
 
 _SCALING_LABELS = {
     "d_sample": "D-Sample",
@@ -96,7 +102,9 @@ class QuGeo:
     # ------------------------------------------------------------------ #
     def fit(self, train_dataset: FWIDataset,
             test_dataset: Optional[FWIDataset] = None,
-            compressor_dataset: Optional[FWIDataset] = None) -> TrainingResult:
+            compressor_dataset: Optional[FWIDataset] = None,
+            callbacks: Sequence[Callback] = (),
+            resume_from: Optional[str] = None) -> TrainingResult:
         """Scale the data, build the model and train it.
 
         Parameters
@@ -107,6 +115,12 @@ class QuGeo:
         compressor_dataset:
             Extra full-resolution samples used to train the Q-D-CNN
             compressor when ``scaling_method='cnn'``.
+        callbacks:
+            Extra training callbacks (checkpointing, early stopping, ...)
+            passed through to the :class:`~repro.core.training.Trainer`.
+        resume_from:
+            Checkpoint path to resume the model training from (see
+            :class:`~repro.core.training.Checkpoint`).
         """
         if self.scaler is None:
             self.build_scaler(compressor_dataset)
@@ -115,8 +129,10 @@ class QuGeo:
         scaled_train = self.scaler.scale_dataset(train_dataset)
         scaled_test = (self.scaler.scale_dataset(test_dataset)
                        if test_dataset is not None else None)
-        trainer = QuantumTrainer(self.config.training)
-        self.training_result = trainer.train(self.model, scaled_train, scaled_test)
+        trainer = Trainer(self.config.training)
+        self.training_result = trainer.train(self.model, scaled_train,
+                                             scaled_test, callbacks=callbacks,
+                                             resume_from=resume_from)
         return self.training_result
 
     def predict(self, sample: FWISample,
@@ -138,6 +154,54 @@ class QuGeo:
         """Predict velocity maps for every sample of a full-resolution dataset."""
         return np.stack([self.predict(sample, denormalize=denormalize)
                          for sample in dataset])
+
+    # ------------------------------------------------------------------ #
+    # serialisation: save a trained pipeline, load it for inference
+    # ------------------------------------------------------------------ #
+    def save(self, path: str) -> None:
+        """Persist the fitted pipeline (config, scaler, model, history).
+
+        The saved file is self-contained: :meth:`load` rebuilds a pipeline
+        whose :meth:`predict` matches this one's output exactly, without
+        refitting anything.
+        """
+        if self.scaler is None or self.model is None:
+            raise RuntimeError("fit() (or build the components) before save()")
+        payload: Dict[str, object] = {
+            "version": PIPELINE_VERSION,
+            "config": config_to_dict(self.config),
+            "scaler": scaler_state(self.scaler),
+            "model": self.model.state_dict(),
+        }
+        if self.training_result is not None:
+            payload["final_metrics"] = dict(self.training_result.final_metrics)
+            payload["history"] = self.training_result.logger.state_dict()
+        save_checkpoint(path, payload)
+
+    @classmethod
+    def load(cls, path: str, rng: RngLike = None) -> "QuGeo":
+        """Rebuild a pipeline saved with :meth:`save`, ready to predict.
+
+        Pipeline files are pickles: only load files you trust (unpickling
+        executes embedded code).
+        """
+        payload = load_checkpoint(path)
+        version = payload.get("version")
+        if version != PIPELINE_VERSION:
+            raise ValueError(f"unsupported pipeline version {version!r}")
+        config = config_from_dict(payload["config"])
+        pipeline = cls(config, rng=rng)
+        pipeline.scaler = scaler_from_state(payload["scaler"], config.data)
+        pipeline.build_model()
+        pipeline.model.load_state_dict(payload["model"])
+        if "final_metrics" in payload:
+            logger = RunLogger(name=getattr(pipeline.model, "name", "quantum"))
+            if "history" in payload:
+                logger.load_state_dict(payload["history"])
+            pipeline.training_result = TrainingResult(
+                model=pipeline.model, logger=logger,
+                final_metrics=dict(payload["final_metrics"]))
+        return pipeline
 
     # ------------------------------------------------------------------ #
     # reporting

@@ -183,13 +183,19 @@ class QuBatchVQC:
         return z
 
     def predict_batch(self, seismic_batch: Sequence[np.ndarray]) -> np.ndarray:
-        """Predict normalised velocity maps for up to ``batch_capacity`` samples."""
+        """Predict normalised velocity maps for a batch of samples.
+
+        Batches larger than ``batch_capacity`` run as several circuit
+        executions, one capacity-sized chunk at a time.
+        """
         n_samples = len(seismic_batch)
         if n_samples == 0:
             raise ValueError("empty batch")
         if n_samples > self.batch_capacity:
-            raise ValueError(f"batch of {n_samples} exceeds capacity "
-                             f"{self.batch_capacity}")
+            return np.concatenate(
+                [self.predict_batch(seismic_batch[start:start + self.batch_capacity])
+                 for start in range(0, n_samples, self.batch_capacity)],
+                axis=0)
         state = self.encode(seismic_batch)
         output = self.circuit.run(state, self.theta.data, backend=self.backend)
         return self._decode_blocks(output, n_samples)
@@ -311,7 +317,12 @@ class QuBatchVQC:
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         """Load arrays produced by :meth:`state_dict`."""
-        self.theta.data = np.asarray(state["theta"], dtype=np.float64).copy()
+        theta = np.asarray(state["theta"], dtype=np.float64)
+        if theta.shape != self.theta.data.shape:
+            raise ValueError("theta shape mismatch")
+        self.theta.data = theta.copy()
         if "output_scale" in state:
-            self.output_scale.data = np.asarray(state["output_scale"],
-                                                dtype=np.float64).copy()
+            scale = np.asarray(state["output_scale"], dtype=np.float64)
+            if scale.shape != self.output_scale.data.shape:
+                raise ValueError("output_scale shape mismatch")
+            self.output_scale.data = scale.copy()

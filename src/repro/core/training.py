@@ -1,15 +1,51 @@
-"""Trainers for the quantum and classical FWI models.
+"""The unified training engine.
 
-Both trainers follow the paper's recipe: Adam with a configurable initial
-learning rate (0.1 in the paper), cosine annealing over the epoch budget and
-mini-batch updates.  They share the :class:`TrainingResult` record so the
-experiment harness treats quantum and classical runs uniformly.
+One :class:`Trainer` drives every model family in the stack.  The engine owns
+the generic machinery — epoch loop, mini-batch shuffling, Adam + cosine
+annealing, metric logging, checkpointing — while everything model-specific
+lives in a pluggable :class:`StepStrategy` (how one mini-batch turns into
+accumulated gradients) selected by :func:`select_step_strategy`:
+
+* :class:`QuantumBatchedAdjointStep` — :class:`~repro.core.vqc_model.QuGeoVQC`
+  on a backend with native batched-adjoint support: one stacked
+  forward/backward sweep per mini-batch.
+* :class:`QuantumPerSampleStep` — the same model on a per-sample backend.
+* :class:`QuBatchStep` — :class:`~repro.core.qubatch.QuBatchVQC`, whose
+  mini-batch size is the circuit's own batch capacity.
+* :class:`ClassicalAutogradStep` — :class:`~repro.core.classical_models.ClassicalFWIModel`
+  through the reverse-mode autograd of :mod:`repro.nn`.
+
+Models plug in through the :class:`Model` protocol (``parameter_tensors`` /
+``predict_batch`` / ``state_dict`` / ``load_state_dict``), and side concerns
+ride along as :class:`Callback` objects: test-set evaluation cadence
+(:class:`EvalCallback`), :class:`EarlyStopping`, :class:`BestModelTracker`
+and periodic :class:`Checkpoint` saves.  A checkpoint captures the full
+training state — model arrays, optimiser moments, scheduler position, the
+shuffle generator's bit-generator state and the metric history — so a run
+resumed with ``Trainer.train(..., resume_from=path)`` reproduces the
+uninterrupted run's trajectory exactly.
+
+The paper's recipe is unchanged: Adam with a configurable initial learning
+rate (0.1 in the paper), cosine annealing over the epoch budget and
+mini-batch updates.  :class:`QuantumTrainer` and :class:`ClassicalTrainer`
+remain as backwards-compatible aliases of the one engine.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import (
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
 
 import numpy as np
 
@@ -22,8 +58,41 @@ from repro.metrics import mse, ssim
 from repro.nn import Adam, CosineAnnealingLR, MSELoss, Tensor
 from repro.utils.logging import RunLogger
 from repro.utils.rng import ensure_rng
+from repro.utils.serialization import load_checkpoint, save_checkpoint
+
+CHECKPOINT_VERSION = 1
 
 
+# --------------------------------------------------------------------------- #
+# the Model protocol
+# --------------------------------------------------------------------------- #
+@runtime_checkable
+class Model(Protocol):
+    """What the training engine requires of a trainable model.
+
+    :class:`~repro.core.vqc_model.QuGeoVQC`,
+    :class:`~repro.core.qubatch.QuBatchVQC` and
+    :class:`~repro.core.classical_models.ClassicalFWIModel` all satisfy it,
+    so one :class:`Trainer` (and one checkpoint format) serves the whole
+    stack.
+    """
+
+    def parameter_tensors(self) -> Tuple[Tensor, ...]:
+        """Tensors the optimiser updates."""
+
+    def predict_batch(self, seismic_batch: Sequence[np.ndarray]) -> np.ndarray:
+        """Predict normalised velocity maps for a batch of flat samples."""
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every trainable array, keyed by name."""
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load arrays produced by :meth:`state_dict`."""
+
+
+# --------------------------------------------------------------------------- #
+# results and shared helpers
+# --------------------------------------------------------------------------- #
 @dataclass
 class TrainingResult:
     """Outcome of one training run.
@@ -57,6 +126,26 @@ def _dataset_arrays(dataset: FWIDataset):
     return seismic, velocity
 
 
+def _dataset_fingerprint(arrays) -> Optional[Dict[str, object]]:
+    """Cheap identity of a stacked dataset.
+
+    Shapes, content sums, and a position-weighted digest — the latter makes
+    the fingerprint order-sensitive, so the same samples in a different
+    order (which changes what the restored shuffle state selects) are
+    detected too.
+    """
+    if arrays is None:
+        return None
+    seismic, velocity = arrays
+    weights = np.arange(1, seismic.shape[0] + 1, dtype=np.float64)
+    return {"seismic_shape": tuple(seismic.shape),
+            "velocity_shape": tuple(velocity.shape),
+            "seismic_sum": float(seismic.sum()),
+            "velocity_sum": float(velocity.sum()),
+            "order_digest": float(
+                weights @ seismic.reshape(seismic.shape[0], -1).sum(axis=1))}
+
+
 def evaluate_predictions(predictions: np.ndarray,
                          targets: np.ndarray) -> Dict[str, float]:
     """Average SSIM and MSE of a batch of predicted velocity maps."""
@@ -69,48 +158,535 @@ def evaluate_predictions(predictions: np.ndarray,
             "mse": mse(predictions, targets)}
 
 
-class QuantumTrainer:
-    """Mini-batch Adam training of :class:`QuGeoVQC` / :class:`QuBatchVQC`."""
+def predict_in_batches(model: Model, seismic: np.ndarray,
+                       batch_size: Optional[int] = None) -> np.ndarray:
+    """Predict a whole dataset in bounded-memory chunks.
 
-    def __init__(self, config: TrainingConfig = None) -> None:
+    ``batch_size=None`` runs one chunk.  Models with an intrinsic circuit
+    capacity (QuBatch) split chunks further inside their own
+    ``predict_batch``.  Chunked and unchunked prediction agree because every
+    model decodes samples independently.
+    """
+    seismic = np.asarray(seismic)
+    n_samples = seismic.shape[0]
+    if n_samples == 0:
+        raise ValueError("empty evaluation set")
+    limit = n_samples if batch_size is None else max(1, int(batch_size))
+    chunks = [model.predict_batch(seismic[start:start + limit])
+              for start in range(0, n_samples, limit)]
+    if len(chunks) == 1:
+        return np.asarray(chunks[0])
+    return np.concatenate(chunks, axis=0)
+
+
+def evaluate_model_arrays(model: Model, seismic: np.ndarray,
+                          velocity: np.ndarray, split: str = "test",
+                          batch_size: Optional[int] = None) -> Dict[str, float]:
+    """Split-prefixed SSIM / MSE of ``model`` over stacked arrays."""
+    predictions = predict_in_batches(model, seismic, batch_size=batch_size)
+    metrics = evaluate_predictions(predictions, velocity)
+    return {f"{split}_ssim": metrics["ssim"],
+            f"{split}_mse": metrics["mse"]}
+
+
+# --------------------------------------------------------------------------- #
+# step strategies
+# --------------------------------------------------------------------------- #
+class StepStrategy:
+    """How one mini-batch becomes accumulated gradients.
+
+    The trainer calls ``optimizer.zero_grad()`` before and
+    ``optimizer.step()`` after :meth:`step`, so a strategy only accumulates
+    gradients into the model's parameter tensors and returns the mini-batch
+    loss.
+    """
+
+    name = "base"
+
+    def batch_size(self, model: Model, config: TrainingConfig) -> int:
+        """Mini-batch size this strategy trains with."""
+        return config.batch_size
+
+    def step(self, model: Model, seismic: np.ndarray,
+             velocity: np.ndarray) -> float:
+        """Accumulate gradients of one mini-batch; return its mean loss."""
+        raise NotImplementedError
+
+
+class QuantumBatchedAdjointStep(StepStrategy):
+    """One stacked forward/backward sweep per mini-batch (QuGeoVQC)."""
+
+    name = "quantum-batched-adjoint"
+
+    def step(self, model: QuGeoVQC, seismic: np.ndarray,
+             velocity: np.ndarray) -> float:
+        return model.accumulate_gradients_batch(seismic, velocity)
+
+
+class QuantumPerSampleStep(StepStrategy):
+    """Per-sample adjoint sweeps for backends without batched support."""
+
+    name = "quantum-per-sample"
+
+    def step(self, model: QuGeoVQC, seismic: np.ndarray,
+             velocity: np.ndarray) -> float:
+        weight = 1.0 / len(seismic)
+        loss = 0.0
+        for sample, target in zip(seismic, velocity):
+            loss += weight * model.accumulate_gradients(sample, target,
+                                                        weight=weight)
+        return loss
+
+
+class QuBatchStep(StepStrategy):
+    """QuBatch SIMD execution: the circuit itself carries the mini-batch."""
+
+    name = "qubatch"
+
+    def batch_size(self, model: QuBatchVQC, config: TrainingConfig) -> int:
+        return model.batch_capacity
+
+    def step(self, model: QuBatchVQC, seismic: np.ndarray,
+             velocity: np.ndarray) -> float:
+        return model.accumulate_gradients(seismic, velocity)
+
+
+class ClassicalAutogradStep(StepStrategy):
+    """Reverse-mode autograd through the :mod:`repro.nn` graph."""
+
+    name = "classical-autograd"
+
+    def __init__(self) -> None:
+        self._loss_fn = MSELoss()
+
+    def step(self, model: ClassicalFWIModel, seismic: np.ndarray,
+             velocity: np.ndarray) -> float:
+        output = model.forward(seismic)
+        if model.decoder == "pixel":
+            prediction = output.reshape(*velocity.shape)
+        else:
+            prediction = model.expand_prediction(output)
+        loss = self._loss_fn(prediction, velocity)
+        loss.backward()
+        return loss.item()
+
+
+def select_step_strategy(model: Model) -> StepStrategy:
+    """Pick the step strategy matching ``model`` and its backend.
+
+    Custom model classes must either match one of the known families or be
+    trained with an explicit ``Trainer(config, strategy=...)``.
+    """
+    if isinstance(model, QuBatchVQC):
+        return QuBatchStep()
+    if isinstance(model, ClassicalFWIModel):
+        return ClassicalAutogradStep()
+    backend = getattr(model, "backend", None)
+    if (hasattr(model, "accumulate_gradients_batch") and backend is not None
+            and backend.capabilities.batched_adjoint):
+        return QuantumBatchedAdjointStep()
+    if hasattr(model, "accumulate_gradients"):
+        return QuantumPerSampleStep()
+    raise TypeError(
+        f"no step strategy for {type(model).__name__}: the model matches no "
+        "known family and has no accumulate_gradients method — pass an "
+        "explicit strategy to Trainer(config, strategy=...)")
+
+
+# --------------------------------------------------------------------------- #
+# callbacks
+# --------------------------------------------------------------------------- #
+@dataclass
+class TrainerState:
+    """Mutable context the engine shares with its callbacks."""
+
+    trainer: "Trainer"
+    config: TrainingConfig
+    model: Model
+    strategy: StepStrategy
+    optimizer: Adam
+    scheduler: CosineAnnealingLR
+    rng: np.random.Generator
+    logger: RunLogger
+    train_arrays: Tuple[np.ndarray, np.ndarray]
+    test_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+    callbacks: List["Callback"] = field(default_factory=list)
+    #: Dataset fingerprints, computed once per run (the arrays are immutable
+    #: for the whole train() call) and embedded in every checkpoint.
+    train_fingerprint: Optional[Dict[str, object]] = None
+    test_fingerprint: Optional[Dict[str, object]] = None
+    epoch: int = 0
+    metrics: Dict[str, float] = field(default_factory=dict)
+    stop_training: bool = False
+    stop_reason: str = ""
+    #: Set by callbacks that overwrite the model's weights (e.g. a best-model
+    #: restore) so cached evaluations of the old weights are not reused.
+    model_mutated: bool = False
+
+
+class Callback:
+    """Hooks into the engine's epoch loop.
+
+    ``on_train_begin`` runs once per :meth:`Trainer.train` call, before any
+    checkpoint is restored — stateful callbacks reset their per-run state
+    there, so one instance can be reused across runs.  ``on_epoch_end`` runs
+    after the epoch's updates but *before* the metrics are logged, so
+    callbacks can contribute metrics (this is how test-set evaluation is
+    wired in).  ``on_epoch_logged`` runs after logging, so callbacks that
+    persist or act on the recorded state (checkpoints, early stopping) see a
+    history that includes the current epoch.
+
+    Checkpoints include every callback's :meth:`state_dict` (matched back by
+    position and class name on resume), so resuming with the same callback
+    list continues stateful callbacks — patience counters, best-model
+    trackers, cached evaluations — exactly where they left off.
+    """
+
+    def on_train_begin(self, state: TrainerState) -> None:
+        pass
+
+    def on_resume(self, state: TrainerState) -> None:
+        """Called after this callback's state is restored from a checkpoint.
+
+        A callback whose restored state implies the run should not continue
+        (e.g. an already-fired early stop) re-asserts ``state.stop_training``
+        here; a checkpoint that merely interrupted a healthy run resumes.
+        """
+
+    def on_epoch_end(self, state: TrainerState) -> None:
+        pass
+
+    def on_epoch_logged(self, state: TrainerState) -> None:
+        pass
+
+    def on_train_end(self, state: TrainerState) -> None:
+        pass
+
+    def state_dict(self) -> Dict[str, object]:
+        """Per-run state worth checkpointing (stateless callbacks: empty)."""
+        return {}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+
+    @property
+    def checkpoint_key(self) -> Optional[str]:
+        """Identity used to pair saved state with callbacks on resume.
+
+        Callbacks of the same class are told apart by this key (e.g. the
+        monitored metric), so two ``EarlyStopping`` instances cannot claim
+        each other's patience counters when the caller reorders them.
+        """
+        return None
+
+
+class EvalCallback(Callback):
+    """Evaluate the test split on the configured cadence.
+
+    Metrics are written into ``state.metrics`` before logging.  The last
+    evaluation is cached as ``(epoch, metrics)`` so the trainer can reuse a
+    final-epoch evaluation for ``final_metrics`` instead of recomputing it.
+    """
+
+    def __init__(self, every: Optional[int] = None,
+                 batch_size: Optional[int] = None) -> None:
+        if every is not None and every < 1:
+            raise ValueError("every must be at least 1")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        self.every = every
+        self.batch_size = batch_size
+        self.last_eval: Optional[Tuple[int, Dict[str, float]]] = None
+
+    @property
+    def checkpoint_key(self) -> str:
+        return f"{self.every}|{self.batch_size}"
+
+    def on_train_begin(self, state: TrainerState) -> None:
+        self.last_eval = None
+
+    def state_dict(self) -> Dict[str, object]:
+        if self.last_eval is None:
+            return {}
+        return {"last_eval": self.last_eval}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        cached = state.get("last_eval")
+        self.last_eval = (int(cached[0]), dict(cached[1])) if cached else None
+
+    def should_evaluate(self, state: TrainerState) -> bool:
+        every = self.every if self.every is not None else state.config.eval_every
+        return ((state.epoch + 1) % every == 0
+                or state.epoch == state.config.epochs - 1)
+
+    def on_epoch_end(self, state: TrainerState) -> None:
+        if state.test_arrays is None or not self.should_evaluate(state):
+            return
+        batch_size = (self.batch_size if self.batch_size is not None
+                      else state.config.eval_batch_size)
+        metrics = evaluate_model_arrays(state.model, *state.test_arrays,
+                                        batch_size=batch_size)
+        state.metrics.update(metrics)
+        self.last_eval = (state.epoch, dict(metrics))
+
+
+class EarlyStopping(Callback):
+    """Stop training when a monitored metric stops improving."""
+
+    def __init__(self, monitor: str = "train_loss", patience: int = 5,
+                 min_delta: float = 0.0, mode: str = "min") -> None:
+        if patience < 1:
+            raise ValueError("patience must be at least 1")
+        if mode not in ("min", "max"):
+            raise ValueError("mode must be 'min' or 'max'")
+        self.monitor = monitor
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.mode = mode
+        self.best: Optional[float] = None
+        self.wait = 0
+        self.stopped_epoch: Optional[int] = None
+
+    def on_train_begin(self, state: TrainerState) -> None:
+        self.best = None
+        self.wait = 0
+        self.stopped_epoch = None
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"best": self.best, "wait": self.wait,
+                "stopped_epoch": self.stopped_epoch}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self.best = state["best"]
+        self.wait = int(state["wait"])
+        self.stopped_epoch = state["stopped_epoch"]
+
+    def on_resume(self, state: TrainerState) -> None:
+        # A checkpoint written at the stopping epoch stays stopped: the run
+        # converged, it was not interrupted.
+        if self.stopped_epoch is not None:
+            state.stop_training = True
+            state.stop_reason = (f"early stopping fired at epoch "
+                                 f"{self.stopped_epoch} before the checkpoint")
+
+    @property
+    def checkpoint_key(self) -> str:
+        return f"{self.monitor}|{self.mode}|{self.patience}|{self.min_delta}"
+
+    def _improved(self, value: float) -> bool:
+        if self.best is None:
+            return True
+        if self.mode == "min":
+            return value < self.best - self.min_delta
+        return value > self.best + self.min_delta
+
+    def on_epoch_logged(self, state: TrainerState) -> None:
+        value = state.metrics.get(self.monitor)
+        if value is None:
+            return
+        if self._improved(float(value)):
+            self.best = float(value)
+            self.wait = 0
+            return
+        self.wait += 1
+        if self.wait >= self.patience:
+            self.stopped_epoch = state.epoch
+            state.stop_training = True
+            state.stop_reason = (f"early stopping: no {self.monitor} "
+                                 f"improvement in {self.patience} epochs")
+
+
+class BestModelTracker(Callback):
+    """Track (and optionally restore) the best model seen during training."""
+
+    def __init__(self, monitor: str = "train_loss", mode: str = "min",
+                 restore_best: bool = False) -> None:
+        if mode not in ("min", "max"):
+            raise ValueError("mode must be 'min' or 'max'")
+        self.monitor = monitor
+        self.mode = mode
+        self.restore_best = restore_best
+        self.best_value: Optional[float] = None
+        self.best_epoch: Optional[int] = None
+        self.best_state: Optional[Dict[str, np.ndarray]] = None
+
+    def on_train_begin(self, state: TrainerState) -> None:
+        self.best_value = None
+        self.best_epoch = None
+        self.best_state = None
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"best_value": self.best_value, "best_epoch": self.best_epoch,
+                "best_state": self.best_state}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self.best_value = state["best_value"]
+        self.best_epoch = state["best_epoch"]
+        self.best_state = state["best_state"]
+
+    @property
+    def checkpoint_key(self) -> str:
+        return f"{self.monitor}|{self.mode}"
+
+    def _improved(self, value: float) -> bool:
+        if self.best_value is None:
+            return True
+        return (value < self.best_value if self.mode == "min"
+                else value > self.best_value)
+
+    def on_epoch_logged(self, state: TrainerState) -> None:
+        value = state.metrics.get(self.monitor)
+        if value is None or not self._improved(float(value)):
+            return
+        self.best_value = float(value)
+        self.best_epoch = state.epoch
+        self.best_state = state.model.state_dict()
+
+    def on_train_end(self, state: TrainerState) -> None:
+        if self.restore_best and self.best_state is not None:
+            state.model.load_state_dict(self.best_state)
+            state.model_mutated = True
+
+
+class Checkpoint(Callback):
+    """Persist the full training state every ``every`` epochs.
+
+    The file at ``path`` is overwritten with the latest state, captured
+    *after* the epoch's metrics are logged and after every other callback's
+    hooks have run (the trainer orders Checkpoint instances last), so
+    ``Trainer.train(..., resume_from=path)`` picks the run up at the next
+    epoch with an intact metric history, optimiser state, shuffle-generator
+    state and up-to-date callback state.
+    """
+
+    def __init__(self, path: str, every: int = 1,
+                 save_on_train_end: bool = False) -> None:
+        if every < 1:
+            raise ValueError("every must be at least 1")
+        self.path = path
+        self.every = int(every)
+        self.save_on_train_end = save_on_train_end
+
+    def _save(self, state: TrainerState) -> None:
+        save_checkpoint(self.path, state.trainer.capture_state(state))
+
+    def on_epoch_logged(self, state: TrainerState) -> None:
+        if (state.epoch + 1) % self.every == 0:
+            self._save(state)
+
+    def on_train_end(self, state: TrainerState) -> None:
+        # A callback that replaced the model's weights (best-model restore)
+        # left optimiser/scheduler/RNG state from a different epoch than the
+        # weights — such a mixture is not a point on any real trajectory, so
+        # it must not be written as a resumable checkpoint.
+        if self.save_on_train_end and not state.model_mutated:
+            self._save(state)
+
+
+# --------------------------------------------------------------------------- #
+# the engine
+# --------------------------------------------------------------------------- #
+class Trainer:
+    """Mini-batch Adam training of any :class:`Model` in the stack.
+
+    Parameters
+    ----------
+    config:
+        Optimiser settings shared by every model family.
+    strategy:
+        Explicit :class:`StepStrategy`; ``None`` selects one from the model
+        (:func:`select_step_strategy`).
+    """
+
+    def __init__(self, config: TrainingConfig = None,
+                 strategy: Optional[StepStrategy] = None) -> None:
         self.config = config or TrainingConfig()
+        self.strategy = strategy
 
-    def train(self, model: Union[QuGeoVQC, QuBatchVQC],
+    def train(self, model: Model,
               train_dataset: FWIDataset,
               test_dataset: Optional[FWIDataset] = None,
-              logger: Optional[RunLogger] = None) -> TrainingResult:
+              logger: Optional[RunLogger] = None,
+              callbacks: Sequence[Callback] = (),
+              resume_from: Union[str, Dict[str, object], None] = None
+              ) -> TrainingResult:
         """Train ``model`` on a scaled dataset.
 
-        The mini-batch size is the training config's ``batch_size`` for the
-        plain model, or the QuBatch capacity when the model batches in the
-        circuit itself.
+        Parameters
+        ----------
+        model:
+            Any object satisfying the :class:`Model` protocol.
+        train_dataset, test_dataset:
+            Scaled datasets; the test split is evaluated on the
+            ``eval_every`` cadence and for ``final_metrics``.
+        logger:
+            Metric sink; a fresh :class:`~repro.utils.logging.RunLogger` by
+            default.
+        callbacks:
+            Extra :class:`Callback` hooks.  An :class:`EvalCallback` is
+            added automatically unless one is supplied.
+        resume_from:
+            Path to (or payload of) a checkpoint written by
+            :class:`Checkpoint` / :meth:`capture_state`.  Restores model,
+            optimiser, scheduler, RNG and metric history, then continues
+            from the next epoch — the resumed trajectory matches the
+            uninterrupted one exactly.  Checkpoints are pickle files: only
+            resume from files you trust.
         """
         config = self.config
+        strategy = self.strategy or select_step_strategy(model)
         rng = ensure_rng(config.seed)
-        logger = logger or RunLogger(name=getattr(model, "name", "quantum"),
+        logger = logger or RunLogger(name=getattr(model, "name", strategy.name),
                                      verbose=config.verbose,
                                      print_every=config.eval_every)
-        seismic, velocity = _dataset_arrays(train_dataset)
+        train_arrays = _dataset_arrays(train_dataset)
         test_arrays = (_dataset_arrays(test_dataset)
-                       if test_dataset is not None and len(test_dataset) else None)
+                       if test_dataset is not None and len(test_dataset)
+                       else None)
 
         optimizer = Adam(model.parameter_tensors(), lr=config.learning_rate)
         scheduler = CosineAnnealingLR(optimizer, t_max=config.epochs,
                                       eta_min=config.eta_min)
-        uses_qubatch = isinstance(model, QuBatchVQC)
-        batch_size = model.batch_capacity if uses_qubatch else config.batch_size
-        # One stacked forward/backward sweep per mini-batch whenever the
-        # model and its backend support the batched adjoint path; otherwise
-        # fall back to the per-sample loop (the two produce matching
-        # gradients — see tests/test_batched_gradients.py).
-        use_batched_gradients = (
-            not uses_qubatch
-            and hasattr(model, "accumulate_gradients_batch")
-            and getattr(model, "backend", None) is not None
-            and model.backend.capabilities.batched_adjoint)
 
+        callbacks = list(callbacks)
+        evaluator = next((cb for cb in callbacks
+                          if isinstance(cb, EvalCallback)), None)
+        if evaluator is None:
+            evaluator = EvalCallback()
+            callbacks.insert(0, evaluator)
+
+        state = TrainerState(trainer=self, config=config, model=model,
+                             strategy=strategy, optimizer=optimizer,
+                             scheduler=scheduler, rng=rng, logger=logger,
+                             train_arrays=train_arrays,
+                             test_arrays=test_arrays, callbacks=callbacks,
+                             train_fingerprint=_dataset_fingerprint(train_arrays),
+                             test_fingerprint=_dataset_fingerprint(test_arrays))
+
+        # Reset per-run callback state first so a restore below re-loads the
+        # checkpointed state on top of a clean slate.
+        for callback in callbacks:
+            callback.on_train_begin(state)
+
+        start_epoch = 0
+        if resume_from is not None:
+            start_epoch = self._restore(state, resume_from)
+
+        seismic, velocity = train_arrays
         n_samples = seismic.shape[0]
-        for epoch in range(config.epochs):
+        batch_size = strategy.batch_size(model, config)
+        last_epoch_run = start_epoch - 1
+        # Keep state.epoch consistent even when the loop body never runs
+        # (resuming a finished or already-stopped run): a train-end
+        # checkpoint must re-record the restored epoch, not epoch 1.
+        state.epoch = start_epoch - 1
+        for epoch in range(start_epoch, config.epochs):
+            if state.stop_training:
+                # A restored checkpoint may carry a stop decision (e.g. the
+                # run early-stopped right before it was saved) — honour it
+                # instead of training past the stop.
+                break
+            state.epoch = epoch
             # Capture before the scheduler advances so the log records the
             # LR the optimiser actually used for this epoch's updates.
             epoch_lr = optimizer.lr
@@ -120,120 +696,176 @@ class QuantumTrainer:
             for start in range(0, n_samples, batch_size):
                 batch = order[start:start + batch_size]
                 optimizer.zero_grad()
-                if uses_qubatch:
-                    batch_loss = model.accumulate_gradients(
-                        seismic[batch], velocity[batch])
-                elif use_batched_gradients:
-                    batch_loss = model.accumulate_gradients_batch(
-                        seismic[batch], velocity[batch])
-                else:
-                    weight = 1.0 / len(batch)
-                    batch_loss = 0.0
-                    for index in batch:
-                        batch_loss += weight * model.accumulate_gradients(
-                            seismic[index], velocity[index], weight=weight)
+                epoch_loss += strategy.step(model, seismic[batch],
+                                            velocity[batch])
                 optimizer.step()
-                epoch_loss += batch_loss
                 n_batches += 1
             scheduler.step()
-            metrics = {"train_loss": epoch_loss / max(1, n_batches),
-                       "lr": epoch_lr}
-            if test_arrays is not None and (
-                    (epoch + 1) % config.eval_every == 0
-                    or epoch == config.epochs - 1):
-                metrics.update(self._evaluate(model, *test_arrays))
-            logger.log(epoch, **metrics)
+            state.metrics = {"train_loss": epoch_loss / max(1, n_batches),
+                             "lr": epoch_lr}
+            for callback in callbacks:
+                callback.on_epoch_end(state)
+            logger.log(epoch, **state.metrics)
+            # Checkpoint hooks run after every other callback so the saved
+            # snapshot includes their up-to-date state for this epoch
+            # (patience counters, best-model trackers) regardless of the
+            # order the caller listed them in.
+            for callback in self._checkpoints_last(callbacks):
+                callback.on_epoch_logged(state)
+            last_epoch_run = epoch
+            if state.stop_training:
+                if config.verbose and state.stop_reason:
+                    print(f"[{logger.name}] stopping at epoch {epoch}: "
+                          f"{state.stop_reason}")
+                break
 
-        final_metrics = (self._evaluate(model, *test_arrays)
-                         if test_arrays is not None
-                         else self._evaluate(model, seismic, velocity,
-                                             split="train"))
+        # on_train_end runs first (it may replace the model's weights, e.g.
+        # a best-model restore); the final evaluation then scores the model
+        # the caller actually receives.
+        for callback in self._checkpoints_last(callbacks):
+            callback.on_train_end(state)
+        final_metrics = self._final_metrics(state, evaluator, last_epoch_run)
         return TrainingResult(model=model, logger=logger,
                               final_metrics=final_metrics)
 
     @staticmethod
-    def _evaluate(model: Union[QuGeoVQC, QuBatchVQC],
-                  seismic: np.ndarray, velocity: np.ndarray,
-                  split: str = "test") -> Dict[str, float]:
-        if isinstance(model, QuBatchVQC):
-            capacity = model.batch_capacity
-            predictions = np.concatenate(
-                [model.predict_batch(seismic[start:start + capacity])
-                 for start in range(0, seismic.shape[0], capacity)],
-                axis=0)
-        else:
-            predictions = model.predict_batch(seismic)
-        metrics = evaluate_predictions(predictions, velocity)
-        return {f"{split}_ssim": metrics["ssim"],
-                f"{split}_mse": metrics["mse"]}
+    def _checkpoints_last(callbacks: Sequence[Callback]) -> List[Callback]:
+        """Stable order with every :class:`Checkpoint` moved to the end."""
+        ordinary = [cb for cb in callbacks if not isinstance(cb, Checkpoint)]
+        snapshots = [cb for cb in callbacks if isinstance(cb, Checkpoint)]
+        return ordinary + snapshots
 
+    # ------------------------------------------------------------------ #
+    # final metrics (reusing the last epoch's evaluation when possible)
+    # ------------------------------------------------------------------ #
+    def _final_metrics(self, state: TrainerState, evaluator: EvalCallback,
+                       last_epoch_run: int) -> Dict[str, float]:
+        batch_size = (evaluator.batch_size if evaluator.batch_size is not None
+                      else state.config.eval_batch_size)
+        if state.test_arrays is not None:
+            cached = evaluator.last_eval
+            if (cached is not None and cached[0] == last_epoch_run
+                    and not state.model_mutated):
+                # The final epoch was just evaluated in the epoch loop —
+                # reuse it instead of running the test set a second time.
+                return dict(cached[1])
+            return evaluate_model_arrays(state.model, *state.test_arrays,
+                                         batch_size=batch_size)
+        return evaluate_model_arrays(state.model, *state.train_arrays,
+                                     split="train", batch_size=batch_size)
 
-class ClassicalTrainer:
-    """Mini-batch Adam training of :class:`ClassicalFWIModel` baselines."""
-
-    def __init__(self, config: TrainingConfig = None) -> None:
-        self.config = config or TrainingConfig()
-
-    def train(self, model: ClassicalFWIModel,
-              train_dataset: FWIDataset,
-              test_dataset: Optional[FWIDataset] = None,
-              logger: Optional[RunLogger] = None) -> TrainingResult:
-        """Train a classical baseline on a scaled dataset."""
-        config = self.config
-        rng = ensure_rng(config.seed)
-        logger = logger or RunLogger(name=model.name, verbose=config.verbose,
-                                     print_every=config.eval_every)
-        seismic, velocity = _dataset_arrays(train_dataset)
-        test_arrays = (_dataset_arrays(test_dataset)
-                       if test_dataset is not None and len(test_dataset) else None)
-
-        optimizer = Adam(model.network.parameters(), lr=config.learning_rate)
-        scheduler = CosineAnnealingLR(optimizer, t_max=config.epochs,
-                                      eta_min=config.eta_min)
-        loss_fn = MSELoss()
-        depth, width = velocity.shape[1], velocity.shape[2]
-
-        n_samples = seismic.shape[0]
-        for epoch in range(config.epochs):
-            # Capture before the scheduler advances so the log records the
-            # LR the optimiser actually used for this epoch's updates.
-            epoch_lr = optimizer.lr
-            order = rng.permutation(n_samples)
-            epoch_loss = 0.0
-            n_batches = 0
-            for start in range(0, n_samples, config.batch_size):
-                batch = order[start:start + config.batch_size]
-                optimizer.zero_grad()
-                output = model.forward(seismic[batch])
-                if model.decoder == "pixel":
-                    prediction = output.reshape(len(batch), depth, width)
-                else:
-                    prediction = model.expand_prediction(output)
-                loss = loss_fn(prediction, velocity[batch])
-                loss.backward()
-                optimizer.step()
-                epoch_loss += loss.item()
-                n_batches += 1
-            scheduler.step()
-            metrics = {"train_loss": epoch_loss / max(1, n_batches),
-                       "lr": epoch_lr}
-            if test_arrays is not None and (
-                    (epoch + 1) % config.eval_every == 0
-                    or epoch == config.epochs - 1):
-                metrics.update(self._evaluate(model, *test_arrays))
-            logger.log(epoch, **metrics)
-
-        final_metrics = (self._evaluate(model, *test_arrays)
-                         if test_arrays is not None
-                         else self._evaluate(model, seismic, velocity,
-                                             split="train"))
-        return TrainingResult(model=model, logger=logger,
-                              final_metrics=final_metrics)
+    # ------------------------------------------------------------------ #
+    # checkpoint capture / restore
+    # ------------------------------------------------------------------ #
+    def capture_state(self, state: TrainerState) -> Dict[str, object]:
+        """Snapshot everything needed to continue the run bit-identically."""
+        return {
+            "version": CHECKPOINT_VERSION,
+            "epoch": state.epoch + 1,
+            "model_class": type(state.model).__name__,
+            "model": state.model.state_dict(),
+            "optimizer": state.optimizer.state_dict(),
+            "scheduler": state.scheduler.state_dict(),
+            "rng_state": state.rng.bit_generator.state,
+            "logger": state.logger.state_dict(),
+            "config": dataclasses.asdict(state.config),
+            "train_data": state.train_fingerprint,
+            "test_data": state.test_fingerprint,
+            "callbacks": [(type(callback).__name__, callback.checkpoint_key,
+                           callback.state_dict())
+                          for callback in state.callbacks],
+            "stop_training": state.stop_training,
+            "stop_reason": state.stop_reason,
+        }
 
     @staticmethod
-    def _evaluate(model: ClassicalFWIModel, seismic: np.ndarray,
-                  velocity: np.ndarray, split: str = "test") -> Dict[str, float]:
-        predictions = model.predict_velocity(seismic)
-        metrics = evaluate_predictions(predictions, velocity)
-        return {f"{split}_ssim": metrics["ssim"],
-                f"{split}_mse": metrics["mse"]}
+    def _restore(state: TrainerState,
+                 resume_from: Union[str, Dict[str, object]]) -> int:
+        payload = (resume_from if isinstance(resume_from, dict)
+                   else load_checkpoint(resume_from))
+        version = payload.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {version!r}")
+        expected = type(state.model).__name__
+        found = payload.get("model_class")
+        if found != expected:
+            raise ValueError(f"checkpoint holds a {found}, cannot resume a "
+                             f"{expected}")
+        # The trajectory is only reproducible under the configuration that
+        # produced the checkpoint; refuse silent divergence.  ``verbose`` is
+        # cosmetic and ``eval_batch_size`` is trajectory-neutral (chunked
+        # and unchunked evaluation agree), so both may differ.
+        saved_config = dict(payload.get("config", {}))
+        current_config = dataclasses.asdict(state.config)
+        for neutral in ("verbose", "eval_batch_size"):
+            saved_config.pop(neutral, None)
+            current_config.pop(neutral, None)
+        if saved_config != current_config:
+            changed = sorted(key for key in set(saved_config) | set(current_config)
+                             if saved_config.get(key) != current_config.get(key))
+            raise ValueError("checkpoint was written under a different "
+                             f"training config (differs in: {changed})")
+        saved_train = payload.get("train_data")
+        if saved_train is not None and saved_train != state.train_fingerprint:
+            raise ValueError(
+                f"checkpoint was written against different training samples "
+                f"({saved_train['seismic_shape'][0]} of them) — the restored "
+                "shuffle state only reproduces the original run on the same "
+                "dataset")
+        state.model.load_state_dict(payload["model"])
+        state.optimizer.load_state_dict(payload["optimizer"])
+        state.scheduler.load_state_dict(payload["scheduler"])
+        state.rng.bit_generator.state = payload["rng_state"]
+        state.logger.load_state_dict(payload["logger"])
+        # Stateful callbacks resume where they left off.  Each current
+        # callback claims the first unclaimed saved entry matching its class
+        # AND its checkpoint_key (robust to reordering, and two same-class
+        # callbacks with different keys — e.g. different monitors — cannot
+        # swap state); saved state nobody claims is reported so a
+        # silently-reset patience counter cannot masquerade as an exact
+        # resume.
+        saved_callbacks = list(payload.get("callbacks", []))
+        claimed = [False] * len(saved_callbacks)
+        for callback in state.callbacks:
+            identity = (type(callback).__name__, callback.checkpoint_key)
+            for index, (saved_name, saved_key, saved_state) \
+                    in enumerate(saved_callbacks):
+                if not claimed[index] and identity == (saved_name, saved_key):
+                    claimed[index] = True
+                    callback.load_state_dict(saved_state)
+                    break
+        orphaned = sorted({saved_name
+                           for index, (saved_name, saved_key, saved_state)
+                           in enumerate(saved_callbacks)
+                           if not claimed[index] and saved_state})
+        if orphaned:
+            warnings.warn(
+                "checkpoint carries state for callbacks not present in this "
+                f"run ({orphaned}); their behaviour restarts from scratch",
+                stacklevel=2)
+        # Rescoring a finished run against a different test split is
+        # legitimate — but then the cached evaluation describes the old
+        # split and must not be served as final_metrics.
+        if payload.get("test_data") != state.test_fingerprint:
+            for callback in state.callbacks:
+                if isinstance(callback, EvalCallback):
+                    callback.last_eval = None
+        # The payload's stop_training/stop_reason fields are metadata only:
+        # whether a restored run should stay stopped is the stopping
+        # callback's call (EarlyStopping.on_resume re-asserts a fired stop),
+        # so a checkpoint that merely interrupted a healthy run resumes.
+        for callback in state.callbacks:
+            callback.on_resume(state)
+        return int(payload["epoch"])
+
+
+class QuantumTrainer(Trainer):
+    """Backwards-compatible alias: the unified :class:`Trainer` engine.
+
+    Strategy selection (batched adjoint vs per-sample vs QuBatch) now lives
+    in :func:`select_step_strategy` rather than the epoch loop.
+    """
+
+
+class ClassicalTrainer(Trainer):
+    """Backwards-compatible alias: the unified :class:`Trainer` engine."""

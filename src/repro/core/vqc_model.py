@@ -334,5 +334,7 @@ class QuGeoVQC:
             raise ValueError("theta shape mismatch")
         self.theta.data = theta.copy()
         if "output_scale" in state:
-            self.output_scale.data = np.asarray(state["output_scale"],
-                                                dtype=np.float64).copy()
+            scale = np.asarray(state["output_scale"], dtype=np.float64)
+            if scale.shape != self.output_scale.data.shape:
+                raise ValueError("output_scale shape mismatch")
+            self.output_scale.data = scale.copy()

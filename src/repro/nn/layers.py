@@ -38,21 +38,32 @@ class Module:
     # ------------------------------------------------------------------ #
     # parameter discovery
     # ------------------------------------------------------------------ #
-    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
-        """Yield ``(name, parameter)`` pairs of this module and its children."""
+    def named_tensors(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        """Yield every ``(name, Tensor)`` of this module and its children.
+
+        Unlike :meth:`named_parameters` this includes tensors with
+        ``requires_grad=False`` (frozen buffers), so serialisation round
+        trips the full module state, not just what the optimiser updates.
+        """
         for name, value in vars(self).items():
             full_name = f"{prefix}{name}"
-            if isinstance(value, Tensor) and value.requires_grad:
+            if isinstance(value, Tensor):
                 yield full_name, value
             elif isinstance(value, Module):
-                yield from value.named_parameters(prefix=f"{full_name}.")
+                yield from value.named_tensors(prefix=f"{full_name}.")
             elif isinstance(value, (list, tuple)):
                 for index, item in enumerate(value):
                     if isinstance(item, Module):
-                        yield from item.named_parameters(
+                        yield from item.named_tensors(
                             prefix=f"{full_name}.{index}.")
-                    elif isinstance(item, Tensor) and item.requires_grad:
+                    elif isinstance(item, Tensor):
                         yield f"{full_name}.{index}", item
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        """Yield ``(name, parameter)`` pairs of this module and its children."""
+        for name, tensor in self.named_tensors(prefix=prefix):
+            if tensor.requires_grad:
+                yield name, tensor
 
     def parameters(self) -> List[Tensor]:
         """Return the list of trainable parameters."""
@@ -68,12 +79,16 @@ class Module:
             param.zero_grad()
 
     def state_dict(self) -> Dict[str, np.ndarray]:
-        """Return a copy of every parameter array keyed by name."""
-        return {name: param.data.copy() for name, param in self.named_parameters()}
+        """Return a copy of every tensor array keyed by name.
+
+        Frozen (``requires_grad=False``) tensors are included so a loaded
+        module reproduces the saved one exactly.
+        """
+        return {name: tensor.data.copy() for name, tensor in self.named_tensors()}
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Load parameter arrays produced by :meth:`state_dict`."""
-        own = dict(self.named_parameters())
+        """Load tensor arrays produced by :meth:`state_dict`."""
+        own = dict(self.named_tensors())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
         if missing or unexpected:

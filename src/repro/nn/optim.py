@@ -8,11 +8,31 @@ paper trains everything with Adam (initial LR 0.1, cosine annealing).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
 from repro.nn.tensor import Tensor
+
+
+def _copy_arrays(arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
+    return [np.asarray(array, dtype=np.float64).copy() for array in arrays]
+
+
+def _load_arrays(target: List[np.ndarray],
+                 arrays: Sequence[np.ndarray], name: str) -> None:
+    """Replace ``target``'s buffers with copies of ``arrays``, validating shapes."""
+    if len(arrays) != len(target):
+        raise ValueError(f"{name} count mismatch: "
+                         f"{len(arrays)} vs {len(target)}")
+    loaded = []
+    for current, value in zip(target, arrays):
+        value = np.asarray(value, dtype=np.float64)
+        if value.shape != current.shape:
+            raise ValueError(f"{name} shape mismatch: "
+                             f"{value.shape} vs {current.shape}")
+        loaded.append(value.copy())
+    target[:] = loaded
 
 
 class Optimizer:
@@ -33,6 +53,14 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, object]:
+        """Copy of the optimiser state (subclasses add their buffers)."""
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        self.lr = float(state["lr"])
 
 
 class SGD(Optimizer):
@@ -62,6 +90,15 @@ class SGD(Optimizer):
             else:
                 update = grad
             param.data = param.data - self.lr * update
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["velocity"] = _copy_arrays(self._velocity)
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        _load_arrays(self._velocity, state["velocity"], "velocity")
 
 
 class Adam(Optimizer):
@@ -100,3 +137,16 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["step_count"] = self._step_count
+        state["m"] = _copy_arrays(self._m)
+        state["v"] = _copy_arrays(self._v)
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._step_count = int(state["step_count"])
+        _load_arrays(self._m, state["m"], "m")
+        _load_arrays(self._v, state["v"], "v")

@@ -8,6 +8,7 @@ reproduces that schedule.  :class:`StepLR` is provided for ablations.
 from __future__ import annotations
 
 import math
+from typing import Dict
 
 from repro.nn.optim import Optimizer
 
@@ -29,6 +30,15 @@ class LRScheduler:
         lr = self.get_lr()
         self.optimizer.lr = lr
         return lr
+
+    def state_dict(self) -> Dict[str, float]:
+        """The schedule position (the optimiser's LR is saved with it)."""
+        return {"base_lr": self.base_lr, "last_epoch": self.last_epoch}
+
+    def load_state_dict(self, state: Dict[str, float]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        self.base_lr = float(state["base_lr"])
+        self.last_epoch = int(state["last_epoch"])
 
 
 class CosineAnnealingLR(LRScheduler):

@@ -54,3 +54,23 @@ class RunLogger:
     def as_dict(self) -> Dict[str, List[float]]:
         """Return a copy of the full metric history."""
         return {key: list(values) for key, values in self._history.items()}
+
+    # ------------------------------------------------------------------ #
+    # serialisation (checkpointed runs resume with their history intact)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, object]:
+        """Copy of the recorded history and step indices."""
+        return {"name": self.name,
+                "history": self.as_dict(),
+                "steps": {key: list(values)
+                          for key, values in self._steps.items()}}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Replace the recorded history with one from :meth:`state_dict`."""
+        self.name = str(state.get("name", self.name))
+        self._history = defaultdict(list)
+        for key, values in state["history"].items():
+            self._history[key] = [float(value) for value in values]
+        self._steps = defaultdict(list)
+        for key, values in state["steps"].items():
+            self._steps[key] = [int(value) for value in values]

@@ -1,0 +1,53 @@
+"""Checkpoint (de)serialisation.
+
+Checkpoints are nested dicts of plain Python values and NumPy arrays —
+model ``state_dict`` copies, optimiser moments, bit-generator states, metric
+histories.  They are written with the standard-library :mod:`pickle` (the
+library has no third-party serialisation dependency) through an atomic
+rename, so a crash mid-write never leaves a truncated checkpoint behind.
+
+.. warning::
+   As with any pickle-based format (``torch.load`` included), deserialising
+   a file executes code embedded in it.  Only load checkpoint / pipeline
+   files you trust — i.e. files you (or your own CI) wrote.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Dict, Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_checkpoint(path: PathLike, payload: Dict[str, object]) -> None:
+    """Atomically write ``payload`` to ``path``, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                    prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_name, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def load_checkpoint(path: PathLike) -> Dict[str, object]:
+    """Read a checkpoint written by :func:`save_checkpoint`.
+
+    Only call on trusted files: unpickling executes embedded code.
+    """
+    with open(str(path), "rb") as handle:
+        payload = pickle.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path} does not hold a checkpoint dict")
+    return payload

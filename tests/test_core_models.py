@@ -240,11 +240,19 @@ class TestQuBatchVQC:
         batch_loss, _ = batched.loss_and_gradients(samples, targets)
         assert batch_loss == pytest.approx(individual, rel=1e-6)
 
-    def test_over_capacity_raises(self):
+    def test_over_capacity_predictions_chunk(self):
+        """predict_batch splits batches beyond the circuit capacity."""
+        model = QuBatchVQC(_small_config("layer", n_batch_qubits=1), rng=13)
+        samples = [np.random.default_rng(i + 60).normal(size=64)
+                   for i in range(3)]
+        chunked = model.predict_batch(samples)
+        manual = np.concatenate([model.predict_batch(samples[:2]),
+                                 model.predict_batch(samples[2:])], axis=0)
+        np.testing.assert_array_equal(chunked, manual)
+
+    def test_over_capacity_training_raises(self):
         model = QuBatchVQC(_small_config("layer", n_batch_qubits=1), rng=13)
         samples = [np.zeros(64)] * 3
-        with pytest.raises(ValueError):
-            model.predict_batch(samples)
         with pytest.raises(ValueError):
             model.loss_and_gradients(samples, [np.zeros((6, 6))] * 3)
 
