@@ -36,6 +36,7 @@ from repro.core.classical_models import (
     ClassicalFWIModel,
 )
 from repro.core.training import (
+    ArrayDataSource,
     BestModelTracker,
     Callback,
     Checkpoint,
@@ -47,11 +48,17 @@ from repro.core.training import (
     StepStrategy,
     Trainer,
     TrainingResult,
+    evaluate_data_source,
     predict_in_batches,
     select_step_strategy,
 )
 from repro.core.framework import QuGeo
-from repro.core.experiment import ExperimentResult, evaluate_model, train_model
+from repro.core.experiment import (
+    ExperimentResult,
+    evaluate_model,
+    prepare_dataset,
+    train_model,
+)
 
 __all__ = [
     "Trainer",
@@ -86,4 +93,7 @@ __all__ = [
     "QuGeo",
     "ExperimentResult",
     "evaluate_model",
+    "prepare_dataset",
+    "ArrayDataSource",
+    "evaluate_data_source",
 ]

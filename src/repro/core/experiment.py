@@ -27,6 +27,7 @@ from repro.core.training import (
     Callback,
     Trainer,
     TrainingResult,
+    evaluate_data_source,
     evaluate_predictions,
     predict_in_batches,
 )
@@ -85,8 +86,14 @@ def evaluate_model(model: Union[QuGeoVQC, QuBatchVQC, ClassicalFWIModel],
     the evaluation is one chunked pass regardless of the family.  The
     default ``batch_size`` matches ``TrainingConfig.eval_batch_size`` so
     peak memory stays bounded on large datasets; ``None`` evaluates in a
-    single pass.
+    single pass.  A streaming source (``gather`` protocol, e.g. a
+    :class:`repro.data.store.ShardLoader`) is evaluated without stacking
+    its seismic data — one gather pass through :func:`evaluate_data_source`.
     """
+    if hasattr(dataset, "gather"):
+        metrics = evaluate_data_source(model, dataset, split="eval",
+                                       batch_size=batch_size)
+        return {"ssim": metrics["eval_ssim"], "mse": metrics["eval_mse"]}
     seismic = np.stack([sample.seismic.reshape(-1) for sample in dataset])
     velocity = np.stack([sample.velocity for sample in dataset])
     predictions = predict_in_batches(model, seismic, batch_size=batch_size)
@@ -124,6 +131,33 @@ def _result_row(model, dataset_label: str, outcome: TrainingResult,
 # --------------------------------------------------------------------------- #
 # dataset preparation
 # --------------------------------------------------------------------------- #
+def prepare_dataset(config, seed: int = 0,
+                    cache_dir=None,
+                    workers: Optional[int] = None,
+                    count: Optional[int] = None,
+                    progress: bool = False,
+                    stream: bool = False) -> FWIDataset:
+    """Build (or load) the full-resolution dataset an experiment trains on.
+
+    This is the ``--cache-dir`` entry point of the experiment drivers and
+    benchmarks: with ``cache_dir`` the dataset is served from the sharded
+    store (:func:`repro.data.store.open_or_build`) — a repeated run with the
+    same ``(config, seed)`` performs zero forward-modelling calls — and a
+    partial previous build is resumed.  ``workers`` fans generation over a
+    process pool with bit-identical output; ``stream=True`` returns a
+    :class:`repro.data.store.ShardLoader` instead of materializing.
+    """
+    from repro.data.openfwi import SyntheticOpenFWI
+    from repro.data.store import open_or_build
+
+    if cache_dir is not None:
+        return open_or_build(config, seed=seed, cache_dir=cache_dir,
+                             count=count, workers=workers, progress=progress,
+                             stream=stream)
+    return SyntheticOpenFWI(config, rng=int(seed)).build(
+        count=count, workers=workers, progress=progress)
+
+
 def build_scalers(methods: Sequence[str],
                   data_config: QuGeoDataConfig,
                   compressor_dataset: Optional[FWIDataset] = None,

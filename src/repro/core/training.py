@@ -60,7 +60,12 @@ from repro.utils.logging import RunLogger
 from repro.utils.rng import ensure_rng
 from repro.utils.serialization import load_checkpoint, save_checkpoint
 
-CHECKPOINT_VERSION = 1
+# Version 2: dataset fingerprints are computed from per-sample content sums
+# (shared with repro.data.store.content_fingerprint) instead of full-array
+# sums — the two differ in the last float bits at scale, so version-1
+# checkpoints would fail the exact fingerprint comparison with a misleading
+# "different training samples" error instead of a clear version mismatch.
+CHECKPOINT_VERSION = 2
 
 
 # --------------------------------------------------------------------------- #
@@ -126,24 +131,61 @@ def _dataset_arrays(dataset: FWIDataset):
     return seismic, velocity
 
 
-def _dataset_fingerprint(arrays) -> Optional[Dict[str, object]]:
-    """Cheap identity of a stacked dataset.
+class ArrayDataSource:
+    """In-memory data source: stacked ``(flattened seismic, velocity)``.
+
+    The engine consumes datasets through this small duck type — ``__len__``,
+    ``gather(indices)`` and ``fingerprint()`` — so a streaming
+    :class:`repro.data.store.ShardLoader` (which implements the same
+    protocol against on-disk shards) feeds the trainer without the full
+    arrays ever being materialized.
+    """
+
+    def __init__(self, seismic: np.ndarray, velocity: np.ndarray) -> None:
+        self.seismic = np.asarray(seismic)
+        self.velocity = np.asarray(velocity)
+
+    def __len__(self) -> int:
+        return int(self.seismic.shape[0])
+
+    def gather(self, indices) -> Tuple[np.ndarray, np.ndarray]:
+        return self.seismic[indices], self.velocity[indices]
+
+    def fingerprint(self) -> Dict[str, object]:
+        from repro.data.store import content_fingerprint
+        n = self.seismic.shape[0]
+        return content_fingerprint(
+            self.seismic.shape, self.velocity.shape,
+            self.seismic.reshape(n, -1).sum(axis=1),
+            self.velocity.reshape(n, -1).sum(axis=1))
+
+
+def _as_data_source(dataset):
+    """Coerce a dataset (or ``None``) into the data-source protocol.
+
+    Objects already implementing ``gather``/``fingerprint``/``__len__``
+    (e.g. :class:`repro.data.store.ShardLoader`) pass through untouched;
+    anything else is stacked into an :class:`ArrayDataSource`.
+    """
+    if dataset is None:
+        return None
+    if hasattr(dataset, "gather") and hasattr(dataset, "fingerprint"):
+        return dataset
+    return ArrayDataSource(*_dataset_arrays(dataset))
+
+
+def _dataset_fingerprint(source) -> Optional[Dict[str, object]]:
+    """Cheap identity of a dataset source.
 
     Shapes, content sums, and a position-weighted digest — the latter makes
     the fingerprint order-sensitive, so the same samples in a different
     order (which changes what the restored shuffle state selects) are
-    detected too.
+    detected too.  Delegated to the source, so a streaming ShardLoader
+    computes it from its manifest without touching the shards.
     """
-    if arrays is None:
+    if source is None:
         return None
-    seismic, velocity = arrays
-    weights = np.arange(1, seismic.shape[0] + 1, dtype=np.float64)
-    return {"seismic_shape": tuple(seismic.shape),
-            "velocity_shape": tuple(velocity.shape),
-            "seismic_sum": float(seismic.sum()),
-            "velocity_sum": float(velocity.sum()),
-            "order_digest": float(
-                weights @ seismic.reshape(seismic.shape[0], -1).sum(axis=1))}
+    return source.fingerprint()
 
 
 def evaluate_predictions(predictions: np.ndarray,
@@ -158,35 +200,71 @@ def evaluate_predictions(predictions: np.ndarray,
             "mse": mse(predictions, targets)}
 
 
-def predict_in_batches(model: Model, seismic: np.ndarray,
+def predict_in_batches(model: Model, seismic,
                        batch_size: Optional[int] = None) -> np.ndarray:
     """Predict a whole dataset in bounded-memory chunks.
 
-    ``batch_size=None`` runs one chunk.  Models with an intrinsic circuit
-    capacity (QuBatch) split chunks further inside their own
-    ``predict_batch``.  Chunked and unchunked prediction agree because every
-    model decodes samples independently.
+    ``seismic`` is either a stacked ``(n, features)`` array or a streaming
+    data source (``gather`` protocol, e.g. a
+    :class:`repro.data.store.ShardLoader`) — the latter never materializes
+    the full seismic array.  ``batch_size=None`` runs one chunk.  Models
+    with an intrinsic circuit capacity (QuBatch) split chunks further inside
+    their own ``predict_batch``.  Chunked and unchunked prediction agree
+    because every model decodes samples independently.
     """
-    seismic = np.asarray(seismic)
-    n_samples = seismic.shape[0]
-    if n_samples == 0:
-        raise ValueError("empty evaluation set")
-    limit = n_samples if batch_size is None else max(1, int(batch_size))
-    chunks = [model.predict_batch(seismic[start:start + limit])
-              for start in range(0, n_samples, limit)]
+    if hasattr(seismic, "gather"):
+        source = seismic
+        n_samples = len(source)
+        if n_samples == 0:
+            raise ValueError("empty evaluation set")
+        limit = n_samples if batch_size is None else max(1, int(batch_size))
+        chunks = []
+        for start in range(0, n_samples, limit):
+            block, _ = source.gather(
+                np.arange(start, min(start + limit, n_samples)))
+            chunks.append(model.predict_batch(block))
+    else:
+        seismic = np.asarray(seismic)
+        n_samples = seismic.shape[0]
+        if n_samples == 0:
+            raise ValueError("empty evaluation set")
+        limit = n_samples if batch_size is None else max(1, int(batch_size))
+        chunks = [model.predict_batch(seismic[start:start + limit])
+                  for start in range(0, n_samples, limit)]
     if len(chunks) == 1:
         return np.asarray(chunks[0])
     return np.concatenate(chunks, axis=0)
+
+
+def evaluate_data_source(model: Model, source, split: str = "test",
+                         batch_size: Optional[int] = None) -> Dict[str, float]:
+    """Split-prefixed SSIM / MSE of ``model`` over a data source.
+
+    Seismic data streams through ``source.gather`` in ``batch_size`` chunks;
+    only the (small) velocity maps and predictions are held in full.
+    """
+    n_samples = len(source)
+    if n_samples == 0:
+        raise ValueError("empty evaluation set")
+    limit = n_samples if batch_size is None else max(1, int(batch_size))
+    predictions, targets = [], []
+    for start in range(0, n_samples, limit):
+        seismic, velocity = source.gather(
+            np.arange(start, min(start + limit, n_samples)))
+        predictions.append(model.predict_batch(seismic))
+        targets.append(velocity)
+    metrics = evaluate_predictions(np.concatenate(predictions, axis=0),
+                                   np.concatenate(targets, axis=0))
+    return {f"{split}_ssim": metrics["ssim"],
+            f"{split}_mse": metrics["mse"]}
 
 
 def evaluate_model_arrays(model: Model, seismic: np.ndarray,
                           velocity: np.ndarray, split: str = "test",
                           batch_size: Optional[int] = None) -> Dict[str, float]:
     """Split-prefixed SSIM / MSE of ``model`` over stacked arrays."""
-    predictions = predict_in_batches(model, seismic, batch_size=batch_size)
-    metrics = evaluate_predictions(predictions, velocity)
-    return {f"{split}_ssim": metrics["ssim"],
-            f"{split}_mse": metrics["mse"]}
+    return evaluate_data_source(model, ArrayDataSource(seismic, velocity),
+                                split=split, batch_size=batch_size)
 
 
 # --------------------------------------------------------------------------- #
@@ -308,8 +386,9 @@ class TrainerState:
     scheduler: CosineAnnealingLR
     rng: np.random.Generator
     logger: RunLogger
-    train_arrays: Tuple[np.ndarray, np.ndarray]
-    test_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+    #: Data sources (``ArrayDataSource`` or a streaming ShardLoader).
+    train_source: object = None
+    test_source: Optional[object] = None
     callbacks: List["Callback"] = field(default_factory=list)
     #: Dataset fingerprints, computed once per run (the arrays are immutable
     #: for the whole train() call) and embedded in every checkpoint.
@@ -420,12 +499,12 @@ class EvalCallback(Callback):
                 or state.epoch == state.config.epochs - 1)
 
     def on_epoch_end(self, state: TrainerState) -> None:
-        if state.test_arrays is None or not self.should_evaluate(state):
+        if state.test_source is None or not self.should_evaluate(state):
             return
         batch_size = (self.batch_size if self.batch_size is not None
                       else state.config.eval_batch_size)
-        metrics = evaluate_model_arrays(state.model, *state.test_arrays,
-                                        batch_size=batch_size)
+        metrics = evaluate_data_source(state.model, state.test_source,
+                                       batch_size=batch_size)
         state.metrics.update(metrics)
         self.last_eval = (state.epoch, dict(metrics))
 
@@ -639,8 +718,8 @@ class Trainer:
         logger = logger or RunLogger(name=getattr(model, "name", strategy.name),
                                      verbose=config.verbose,
                                      print_every=config.eval_every)
-        train_arrays = _dataset_arrays(train_dataset)
-        test_arrays = (_dataset_arrays(test_dataset)
+        train_source = _as_data_source(train_dataset)
+        test_source = (_as_data_source(test_dataset)
                        if test_dataset is not None and len(test_dataset)
                        else None)
 
@@ -658,10 +737,10 @@ class Trainer:
         state = TrainerState(trainer=self, config=config, model=model,
                              strategy=strategy, optimizer=optimizer,
                              scheduler=scheduler, rng=rng, logger=logger,
-                             train_arrays=train_arrays,
-                             test_arrays=test_arrays, callbacks=callbacks,
-                             train_fingerprint=_dataset_fingerprint(train_arrays),
-                             test_fingerprint=_dataset_fingerprint(test_arrays))
+                             train_source=train_source,
+                             test_source=test_source, callbacks=callbacks,
+                             train_fingerprint=_dataset_fingerprint(train_source),
+                             test_fingerprint=_dataset_fingerprint(test_source))
 
         # Reset per-run callback state first so a restore below re-loads the
         # checkpointed state on top of a clean slate.
@@ -672,8 +751,7 @@ class Trainer:
         if resume_from is not None:
             start_epoch = self._restore(state, resume_from)
 
-        seismic, velocity = train_arrays
-        n_samples = seismic.shape[0]
+        n_samples = len(train_source)
         batch_size = strategy.batch_size(model, config)
         last_epoch_run = start_epoch - 1
         # Keep state.epoch consistent even when the loop body never runs
@@ -694,10 +772,11 @@ class Trainer:
             epoch_loss = 0.0
             n_batches = 0
             for start in range(0, n_samples, batch_size):
-                batch = order[start:start + batch_size]
+                batch_seismic, batch_velocity = train_source.gather(
+                    order[start:start + batch_size])
                 optimizer.zero_grad()
-                epoch_loss += strategy.step(model, seismic[batch],
-                                            velocity[batch])
+                epoch_loss += strategy.step(model, batch_seismic,
+                                            batch_velocity)
                 optimizer.step()
                 n_batches += 1
             scheduler.step()
@@ -742,17 +821,17 @@ class Trainer:
                        last_epoch_run: int) -> Dict[str, float]:
         batch_size = (evaluator.batch_size if evaluator.batch_size is not None
                       else state.config.eval_batch_size)
-        if state.test_arrays is not None:
+        if state.test_source is not None:
             cached = evaluator.last_eval
             if (cached is not None and cached[0] == last_epoch_run
                     and not state.model_mutated):
                 # The final epoch was just evaluated in the epoch loop —
                 # reuse it instead of running the test set a second time.
                 return dict(cached[1])
-            return evaluate_model_arrays(state.model, *state.test_arrays,
-                                         batch_size=batch_size)
-        return evaluate_model_arrays(state.model, *state.train_arrays,
-                                     split="train", batch_size=batch_size)
+            return evaluate_data_source(state.model, state.test_source,
+                                        batch_size=batch_size)
+        return evaluate_data_source(state.model, state.train_source,
+                                    split="train", batch_size=batch_size)
 
     # ------------------------------------------------------------------ #
     # checkpoint capture / restore

@@ -8,13 +8,30 @@ originals).  :mod:`repro.data.dataset` holds the paired samples and performs
 the 400/100 train/test split of the paper; :mod:`repro.data.resample`
 implements the nearest-neighbour baseline ("D-Sample") and other resampling
 utilities; :mod:`repro.data.normalization` maps velocities to the unit range
-used by the losses and metrics.
+used by the losses and metrics; :mod:`repro.data.store` persists generated
+datasets as fingerprint-keyed compressed shards (with resumable, parallel,
+bit-identical generation) and streams them back through
+:class:`~repro.data.store.ShardLoader`.
 """
 
 from repro.data.dataset import FWISample, FWIDataset, train_test_split
-from repro.data.openfwi import OpenFWIConfig, SyntheticOpenFWI, build_flatvel_dataset
+from repro.data.openfwi import (
+    OpenFWIConfig,
+    SyntheticOpenFWI,
+    build_flatvel_dataset,
+    chunk_layout,
+)
 from repro.data.resample import nearest_neighbor_resample, bilinear_resample, resample_2d
 from repro.data.normalization import VelocityNormalizer, MinMaxNormalizer
+from repro.data.store import (
+    DatasetStore,
+    ParallelGenerator,
+    ShardLoader,
+    dataset_fingerprint,
+    load_dataset,
+    open_or_build,
+    save_dataset,
+)
 
 __all__ = [
     "FWISample",
@@ -23,9 +40,17 @@ __all__ = [
     "OpenFWIConfig",
     "SyntheticOpenFWI",
     "build_flatvel_dataset",
+    "chunk_layout",
     "nearest_neighbor_resample",
     "bilinear_resample",
     "resample_2d",
     "VelocityNormalizer",
     "MinMaxNormalizer",
+    "DatasetStore",
+    "ParallelGenerator",
+    "ShardLoader",
+    "dataset_fingerprint",
+    "load_dataset",
+    "open_or_build",
+    "save_dataset",
 ]

@@ -51,12 +51,16 @@ class MinMaxNormalizer:
         self._fitted = False
 
     def fit(self, data: np.ndarray) -> "MinMaxNormalizer":
-        """Record the min/max of ``data``."""
+        """Record the min/max of ``data``.
+
+        Constant data is fitted truthfully (``minimum == maximum``) rather
+        than inflating ``maximum``; the degenerate range is handled in
+        :meth:`transform` / :meth:`inverse_transform` so the round trip
+        ``inverse_transform(transform(x)) == x`` holds.
+        """
         data = np.asarray(data, dtype=np.float64)
         self.minimum = float(data.min())
         self.maximum = float(data.max())
-        if self.maximum == self.minimum:
-            self.maximum = self.minimum + 1.0
         self._fitted = True
         return self
 
@@ -65,7 +69,12 @@ class MinMaxNormalizer:
         if not self._fitted:
             raise RuntimeError("call fit() before transform()")
         data = np.asarray(data, dtype=np.float64)
-        return (data - self.minimum) / (self.maximum - self.minimum)
+        span = self.maximum - self.minimum
+        if span == 0.0:
+            # Constant fit: every in-range value maps to 0, and
+            # inverse_transform maps 0 back to the constant.
+            return np.zeros_like(data)
+        return (data - self.minimum) / span
 
     def inverse_transform(self, data: np.ndarray) -> np.ndarray:
         """Map unit-interval values back to the fitted range."""

@@ -16,7 +16,7 @@ paper's description of the dataset.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -73,13 +73,64 @@ class OpenFWIConfig:
             raise ValueError("model_config.shape must match velocity_shape")
 
 
+def resolve_root_seed(rng: RngLike = None) -> int:
+    """Normalise ``rng`` into the integer root seed of a generation run.
+
+    An integer passes through, ``None`` draws fresh entropy, and an existing
+    generator yields a seed drawn from it (so the same generator state
+    reproduces the same dataset).  Cheap — no forward-modelling engine is
+    built — so cache lookups can derive their fingerprint key without
+    instantiating a :class:`SyntheticOpenFWI`.
+    """
+    if isinstance(rng, (int, np.integer)):
+        return int(rng)
+    if rng is None:
+        return int(np.random.SeedSequence().entropy % (2**63))
+    return int(ensure_rng(rng).integers(0, 2**63 - 1))
+
+
+def chunk_layout(total: int, chunk_size: int) -> List[Tuple[int, int, int]]:
+    """Partition ``total`` samples into generation chunks.
+
+    Returns ``(chunk_index, start, count)`` triples.  The layout depends only
+    on ``chunk_size``, so a dataset built with ``total=N`` shares its first
+    chunks bit-for-bit with one built with a larger ``total`` — and a
+    partially-built store can resume exactly where it stopped.
+    """
+    if total <= 0:
+        raise ValueError("total must be positive")
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    return [(index, start, min(chunk_size, total - start))
+            for index, start in enumerate(range(0, total, chunk_size))]
+
+
 class SyntheticOpenFWI:
-    """Generator of paired (seismic, velocity) FWI samples."""
+    """Generator of paired (seismic, velocity) FWI samples.
+
+    The generator is addressed by an integer **root seed**: every generation
+    chunk (``config.chunk_size`` velocity maps) draws from its own child RNG
+    stream derived from ``SeedSequence(seed, spawn_key=(chunk_index,))``.
+    Chunks are therefore independent of execution order, which makes the
+    parallel worker-pool build (:class:`repro.data.store.ParallelGenerator`)
+    bit-identical to the serial one and lets a partially-built dataset store
+    resume from its missing chunks.
+
+    ``rng`` may be an integer seed (used directly as the root seed), ``None``
+    (a fresh random root seed) or an existing generator (the root seed is
+    drawn from it, so the same generator state reproduces the same dataset).
+    """
 
     def __init__(self, config: OpenFWIConfig = None, rng: RngLike = None) -> None:
         self.config = config or OpenFWIConfig()
-        self._rng = ensure_rng(rng)
+        self._seed = resolve_root_seed(rng)
+        self._rng = ensure_rng(self._seed)
         self._forward_model = self._build_forward_model()
+
+    @property
+    def seed(self) -> int:
+        """Root seed every chunk stream is derived from (cache-fingerprint key)."""
+        return self._seed
 
     def _build_forward_model(self) -> ForwardModel:
         config = self.config
@@ -127,29 +178,70 @@ class SyntheticOpenFWI:
         return FWISample(seismic=seismic, velocity=velocity,
                          metadata=self._sample_metadata())
 
+    def chunk_rng(self, chunk_index: int) -> np.random.Generator:
+        """The dedicated RNG stream of generation chunk ``chunk_index``."""
+        if chunk_index < 0:
+            raise ValueError("chunk_index must be non-negative")
+        sequence = np.random.SeedSequence(entropy=self._seed,
+                                          spawn_key=(chunk_index,))
+        return np.random.default_rng(sequence)
+
+    def build_chunk(self, chunk_index: int,
+                    count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Generate one chunk: ``(velocities, seismic)`` stacks.
+
+        The chunk draws its velocity maps from :meth:`chunk_rng`, so the
+        result depends only on ``(config, seed, chunk_index, count)`` — not
+        on which process builds it or in which order.
+        """
+        velocities = random_velocity_models(count, self.config.model_config,
+                                            family=self.config.family,
+                                            rng=self.chunk_rng(chunk_index))
+        seismic = self._forward_model.model_shots_batch(velocities)
+        return velocities, seismic
+
+    def dataset_name(self) -> str:
+        return f"synthetic-openfwi-{self.config.family}"
+
     def build(self, count: Optional[int] = None,
-              progress: bool = False) -> FWIDataset:
+              progress: bool = False,
+              store=None,
+              workers: Optional[int] = None) -> FWIDataset:
         """Generate a full dataset of ``count`` paired samples.
 
         Velocity maps are forward-modelled ``config.chunk_size`` at a time
         through :meth:`ForwardModel.model_shots_batch`, so one shared time
         loop advances every shot of every map in the chunk.
+
+        Parameters
+        ----------
+        store:
+            ``None`` builds in memory.  A cache directory path or
+            :class:`repro.data.store.DatasetStore` writes compressed shards
+            as chunks complete; a partial previous build under the same
+            fingerprint is resumed (only missing chunks are generated).
+        workers:
+            ``None``/``1`` builds serially in-process; larger values fan the
+            chunks across a ``multiprocessing`` pool.  Because every chunk
+            owns a seeded RNG stream, the parallel result is bit-identical
+            to the serial one.
         """
         count = count or self.config.n_samples
-        velocities = self.sample_velocities(count)
+        if store is not None or (workers is not None and workers > 1):
+            from repro.data.store import build_dataset
+            return build_dataset(self, count=count, store=store,
+                                 workers=workers, progress=progress)
         samples = []
-        chunk = self.config.chunk_size
         metadata = self._sample_metadata()
-        for start in range(0, count, chunk):
-            block = velocities[start:start + chunk]
-            seismic_block = self._forward_model.model_shots_batch(block)
-            for velocity, seismic in zip(block, seismic_block):
+        for chunk_index, _, size in chunk_layout(count, self.config.chunk_size):
+            velocities, seismic_block = self.build_chunk(chunk_index, size)
+            for velocity, seismic in zip(velocities, seismic_block):
                 samples.append(FWISample(seismic=seismic, velocity=velocity,
                                          metadata=dict(metadata)))
                 if progress and len(samples) % 10 == 0:
                     print(f"[SyntheticOpenFWI] generated "
                           f"{len(samples)}/{count} samples")
-        return FWIDataset(samples, name=f"synthetic-openfwi-{self.config.family}")
+        return FWIDataset(samples, name=self.dataset_name())
 
 
 def build_flatvel_dataset(n_samples: int = 64,
@@ -160,7 +252,9 @@ def build_flatvel_dataset(n_samples: int = 64,
                           peak_frequency: float = 15.0,
                           domain_width: float = 700.0,
                           family: str = "flat",
-                          rng: RngLike = None) -> FWIDataset:
+                          rng: RngLike = None,
+                          cache_dir=None,
+                          workers: Optional[int] = None) -> FWIDataset:
     """Build a reduced FlatVelA-style dataset sized for tests and examples.
 
     The physical domain is kept at OpenFWI's 700 m x 700 m regardless of the
@@ -170,6 +264,11 @@ def build_flatvel_dataset(n_samples: int = 64,
     the structure the QuGeo pipeline cares about (multi-source shot gathers
     over flat layered models).  Use :class:`SyntheticOpenFWI` directly for
     paper-scale data.
+
+    ``cache_dir`` persists the generated shards under a content fingerprint
+    of the configuration and seed (see :mod:`repro.data.store`) so repeated
+    builds are served from disk; ``workers`` fans generation across a
+    process pool with bit-identical output.
     """
     config = OpenFWIConfig(
         n_samples=n_samples,
@@ -181,4 +280,9 @@ def build_flatvel_dataset(n_samples: int = 64,
         peak_frequency=peak_frequency,
         family=family,
     )
-    return SyntheticOpenFWI(config, rng=rng).build()
+    seed = resolve_root_seed(rng)
+    if cache_dir is not None:
+        from repro.data.store import open_or_build
+        return open_or_build(config, seed=seed, cache_dir=cache_dir,
+                             workers=workers)
+    return SyntheticOpenFWI(config, rng=seed).build(workers=workers)

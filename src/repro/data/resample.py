@@ -19,7 +19,11 @@ def _target_indices(source_size: int, target_size: int) -> np.ndarray:
     if source_size <= 0 or target_size <= 0:
         raise ValueError("sizes must be positive")
     positions = (np.arange(target_size) + 0.5) * source_size / target_size - 0.5
-    return np.clip(np.round(positions).astype(int), 0, source_size - 1)
+    # floor(x + 0.5), not np.round: banker's rounding sends exact half-way
+    # positions alternately to the lower and upper neighbour, breaking the
+    # standard nearest-neighbour convention for even decimation factors.
+    indices = np.floor(positions + 0.5).astype(int)
+    return np.clip(indices, 0, source_size - 1)
 
 
 def nearest_neighbor_resample(array: np.ndarray, target_shape: Sequence[int]) -> np.ndarray:

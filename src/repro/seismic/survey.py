@@ -45,6 +45,11 @@ class SurveyGeometry:
         if self.nx < max(self.n_sources, self.n_receivers):
             raise ValueError(
                 "grid width must be at least the number of sources/receivers")
+        # Remember whether the caller supplied an explicit layout: scaled()
+        # must rescale explicit columns rather than regenerate the default
+        # even spread.
+        self.explicit_source_columns = bool(self.source_columns)
+        self.explicit_receiver_columns = bool(self.receiver_columns)
         if not self.source_columns:
             self.source_columns = [int(c) for c in
                                    np.linspace(0, self.nx - 1, self.n_sources)]
@@ -64,6 +69,26 @@ class SurveyGeometry:
         """Return ``(row, column)`` grid positions of every receiver."""
         return [(self.receiver_depth, col) for col in self.receiver_columns]
 
+    def _scale_columns(self, columns: List[int], nx: int) -> List[int]:
+        """Rescale explicit grid columns proportionally onto a width-``nx`` grid."""
+        if self.nx == 1:
+            return [0 for _ in columns]
+        factor = (nx - 1) / (self.nx - 1)
+        return [int(np.clip(round(col * factor), 0, nx - 1)) for col in columns]
+
+    def _scale_depth(self, depth: int, nx: int) -> int:
+        """Rescale a depth (grid rows) proportionally onto the new grid.
+
+        Rows 0 and 1 are the surface convention and are preserved as-is; a
+        buried position keeps its relative depth (assuming the grid aspect
+        ratio is preserved, as in QuGeoData's square maps) and stays buried —
+        it is never clamped back to the surface.
+        """
+        if depth <= 1 or nx == self.nx:
+            return int(depth)
+        scaled = round(depth * nx / self.nx)
+        return int(np.clip(scaled, 1, nx - 1))
+
     def scaled(self, nx: int, n_sources: int = None,
                n_receivers: int = None) -> "SurveyGeometry":
         """Return a survey with the same layout on a grid of width ``nx``.
@@ -71,12 +96,27 @@ class SurveyGeometry:
         Used by QuGeoData when forward modelling on a downsampled velocity
         map: the number of sources is preserved (each source is an
         independent physical event) while receivers are re-spread over the
-        coarser grid.
+        coarser grid.  Explicit ``source_columns`` / ``receiver_columns``
+        layouts are rescaled proportionally (unless the requested count
+        changes, which forces a fresh even spread), and source/receiver
+        depths are preserved — scaled to the new grid — so a buried-source
+        survey stays buried after scaling.
         """
+        new_n_sources = n_sources or self.n_sources
+        new_n_receivers = n_receivers or min(self.n_receivers, nx)
+        source_columns: List[int] = []
+        if self.explicit_source_columns and new_n_sources == self.n_sources:
+            source_columns = self._scale_columns(self.source_columns, nx)
+        receiver_columns: List[int] = []
+        if (self.explicit_receiver_columns
+                and new_n_receivers == self.n_receivers):
+            receiver_columns = self._scale_columns(self.receiver_columns, nx)
         return SurveyGeometry(
-            n_sources=n_sources or self.n_sources,
-            n_receivers=n_receivers or min(self.n_receivers, nx),
+            n_sources=new_n_sources,
+            n_receivers=new_n_receivers,
             nx=nx,
-            source_depth=min(self.source_depth, 1),
-            receiver_depth=min(self.receiver_depth, 1),
+            source_depth=self._scale_depth(self.source_depth, nx),
+            receiver_depth=self._scale_depth(self.receiver_depth, nx),
+            source_columns=source_columns,
+            receiver_columns=receiver_columns,
         )

@@ -70,5 +70,9 @@ def dominant_frequency(original_frequency: float, original_steps: int,
     ratio = scaled_steps / original_steps
     # The usable bandwidth shrinks with the square root of the decimation so
     # the wavelet stays oscillatory but resolvable (matches the paper's
-    # 15 Hz -> 8 Hz choice for a ~4x coarser effective sampling).
-    return float(max(minimum, original_frequency * np.sqrt(ratio) * 2.0))
+    # 15 Hz -> 8 Hz choice for a ~4x coarser effective sampling).  For mild
+    # decimation (ratio > 0.25) the sqrt law would *exceed* the original
+    # frequency, so the result is clamped: scaling never raises the source
+    # frequency above the full-resolution one.
+    scaled = original_frequency * np.sqrt(ratio) * 2.0
+    return float(min(float(original_frequency), max(minimum, scaled)))

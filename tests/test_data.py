@@ -68,6 +68,20 @@ class TestResampling:
         with pytest.raises(ValueError):
             resample_2d(image, (4, 4), "bogus")
 
+    def test_nearest_halfway_positions_round_up(self):
+        """Regression: np.round's banker's rounding sent exact half-way
+        positions alternately to the lower/upper neighbour; the standard
+        nearest-neighbour convention is floor(x + 0.5)."""
+        # Downsampling 4 -> 2 puts every target at a half-way position
+        # (0.5 and 2.5): floor(x + 0.5) picks indices 1 and 3.
+        row = np.array([[10.0, 20.0, 30.0, 40.0]])
+        np.testing.assert_array_equal(
+            nearest_neighbor_resample(row, (1, 2)), [[20.0, 40.0]])
+        # Banker's rounding used to pick {0, 2} (inconsistent neighbours).
+        longer = np.arange(8.0).reshape(1, 8)
+        np.testing.assert_array_equal(
+            nearest_neighbor_resample(longer, (1, 4)), [[1.0, 3.0, 5.0, 7.0]])
+
     @settings(max_examples=20, deadline=None)
     @given(seed=st.integers(0, 10_000),
            rows=st.integers(2, 12), cols=st.integers(2, 12))
@@ -105,6 +119,16 @@ class TestNormalizers:
         normalizer = MinMaxNormalizer().fit(np.full(10, 2.0))
         out = normalizer.transform(np.full(10, 2.0))
         assert np.all(np.isfinite(out))
+
+    def test_minmax_constant_data_round_trips(self):
+        """Regression: fit() used to inflate ``maximum`` by 1.0 on constant
+        data, recording a range the data never had."""
+        data = np.full(10, 2.0)
+        normalizer = MinMaxNormalizer().fit(data)
+        assert normalizer.minimum == 2.0
+        assert normalizer.maximum == 2.0
+        round_trip = normalizer.inverse_transform(normalizer.transform(data))
+        np.testing.assert_array_equal(round_trip, data)
 
 
 class TestDataset:

@@ -58,6 +58,21 @@ class TestRickerWavelet:
     def test_dominant_frequency_unchanged_when_not_downsampling(self):
         assert dominant_frequency(15.0, 100, 200) == 15.0
 
+    def test_dominant_frequency_never_exceeds_original(self):
+        """Regression: mild downsampling (1000 -> 900) used to *raise* the
+        frequency (sqrt-law factor ~1.9) instead of scaling it down."""
+        for scaled_steps in (900, 750, 500, 260, 100, 32):
+            assert dominant_frequency(15.0, 1000, scaled_steps) <= 15.0
+
+    def test_dominant_frequency_paper_anchor(self):
+        """The paper's 15 Hz -> 8 Hz anchor for a ~4x coarser effective
+        sampling (sqrt law: ratio (8/30)^2 ~= 71/1000 steps)."""
+        assert dominant_frequency(15.0, 1000, 71) == pytest.approx(8.0,
+                                                                   abs=0.1)
+
+    def test_dominant_frequency_floor(self):
+        assert dominant_frequency(15.0, 1000, 1) == 1.0
+
 
 class TestSpongeBoundary:
     def test_profile_decays(self):
@@ -105,6 +120,43 @@ class TestSurveyGeometry:
         assert scaled.nx == 8
         assert scaled.n_sources == 5
         assert scaled.n_receivers == 8
+
+    def test_scaled_preserves_explicit_columns(self):
+        """Regression: explicit layouts were silently replaced by the
+        default even spread after scaling."""
+        survey = SurveyGeometry(n_sources=2, n_receivers=4, nx=20,
+                                source_columns=[3, 10],
+                                receiver_columns=[0, 5, 10, 19])
+        scaled = survey.scaled(nx=10)
+        assert scaled.source_columns == [1, 5]
+        assert scaled.receiver_columns == [0, 2, 5, 9]
+
+    def test_scaled_preserves_buried_depths(self):
+        """Regression: min(depth, 1) clamping turned a buried-source survey
+        into a surface survey after scaling."""
+        survey = SurveyGeometry(n_sources=2, n_receivers=10, nx=70,
+                                source_depth=35, receiver_depth=10)
+        scaled = survey.scaled(nx=14)
+        assert scaled.source_depth == 7
+        assert scaled.receiver_depth == 2
+        # Buried positions never collapse onto the surface.
+        deep = SurveyGeometry(n_sources=2, n_receivers=8, nx=64,
+                              source_depth=4, receiver_depth=1)
+        assert deep.scaled(nx=8).source_depth >= 1
+        assert deep.scaled(nx=8).receiver_depth == 1
+
+    def test_scaled_default_layout_respreads(self):
+        survey = SurveyGeometry(n_sources=5, n_receivers=70, nx=70)
+        scaled = survey.scaled(nx=8)
+        columns = [col for _, col in scaled.source_positions()]
+        assert columns[0] == 0
+        assert columns[-1] == 7
+
+    def test_scaled_count_change_forces_fresh_spread(self):
+        survey = SurveyGeometry(n_sources=2, n_receivers=4, nx=20,
+                                source_columns=[3, 10])
+        scaled = survey.scaled(nx=10, n_sources=3)
+        assert len(scaled.source_columns) == 3
 
     def test_invalid_configuration(self):
         with pytest.raises(ValueError):
