@@ -38,7 +38,11 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import subprocess
+import sys
 from dataclasses import dataclass
+from datetime import datetime, timezone
 from functools import lru_cache
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
@@ -240,15 +244,48 @@ def _to_jsonable(value):
     return value
 
 
+def _git_revision() -> Optional[str]:
+    """The working tree's commit sha, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=str(Path(__file__).parent),
+            capture_output=True, text=True, timeout=5)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def environment_meta() -> Dict[str, object]:
+    """Reproducibility metadata embedded in every benchmark JSON."""
+    import numpy as np
+
+    return {
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(),
+        "git_sha": _git_revision(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "executable": sys.executable,
+    }
+
+
 def write_json(name: str, payload: Dict, path: Optional[Union[str, Path]] = None
                ) -> Path:
     """Persist one benchmark's machine-readable payload.
 
     Defaults to ``benchmarks/results/<name>.json``; an explicit ``path``
     (from the shared ``--json`` flag) overrides the destination.  The payload
-    is tagged with the benchmark name and the active scale tier so a CI
-    artifact is self-describing.
+    is tagged with the benchmark name, the active scale tier and a ``meta``
+    block (timestamp, git sha, interpreter/library versions) so a CI
+    artifact is self-describing.  When telemetry is recording
+    (``QUGEO_TELEMETRY=summary``/``trace``), the registry snapshot rides
+    along under ``telemetry``; in ``trace`` mode the span events are also
+    written next to the JSON as ``<name>.trace.jsonl``.
     """
+    from repro.telemetry import get_telemetry
+
     if path is None or path == "":
         RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         path = RESULTS_DIR / f"{name}.json"
@@ -256,7 +293,15 @@ def write_json(name: str, payload: Dict, path: Optional[Union[str, Path]] = None
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
     document = {"benchmark": name,
-                "scale": os.environ.get("QUGEO_BENCH_SCALE", "small")}
+                "scale": os.environ.get("QUGEO_BENCH_SCALE", "small"),
+                "meta": environment_meta()}
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        document["telemetry"] = telemetry.snapshot()
+        if telemetry.tracing:
+            trace_path = path.with_suffix(".trace.jsonl")
+            telemetry.dump_jsonl(trace_path)
+            print(f"[trace written to {trace_path}]")
     document.update(_to_jsonable(payload))
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     print(f"[json written to {path}]")

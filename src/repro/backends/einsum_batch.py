@@ -40,6 +40,7 @@ import numpy as np
 from repro.backends.base import BackendCapabilities, SimulationBackend
 from repro.quantum.gates import GATES
 from repro.quantum.parametric import PARAMETRIC_GATES
+from repro.telemetry import get_telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.quantum.circuit import GateOp, ParameterizedCircuit
@@ -55,6 +56,9 @@ def _apply_subscripts(n_qubits: int, targets: Tuple[int, ...],
     The state operand is ``(batch,) + (2,) * n_qubits``; the gate operand is
     ``(2,) * 2k`` (or with a leading batch axis when ``gate_batched``).
     """
+    # Body only runs on a cache miss; paired with the request counter at the
+    # call site this yields the subscript-cache hit ratio for free.
+    get_telemetry().counter("backend.einsum.subscripts.misses").inc()
     k = len(targets)
     needed = n_qubits + k + 1
     if needed > len(_LETTERS):
@@ -92,6 +96,7 @@ class EinsumBatchBackend(SimulationBackend):
         self.fuse_single_qubit_gates = bool(fuse_single_qubit_gates)
         self._fixed_tensors: Dict[str, np.ndarray] = {}
         self._paths: Dict[Tuple[str, Tuple[int, ...], Tuple[int, ...]], list] = {}
+        self._telemetry = get_telemetry()
 
     # ------------------------------------------------------------------ #
     # gate material
@@ -100,11 +105,16 @@ class EinsumBatchBackend(SimulationBackend):
         """Memoised ``(2,) * 2k`` tensor form of a fixed gate."""
         tensor = self._fixed_tensors.get(name)
         if tensor is None:
+            if self._telemetry.enabled:
+                self._telemetry.counter(
+                    "backend.einsum.gate_tensors.misses").inc()
             matrix = GATES[name]
             k = int(np.log2(matrix.shape[0]))
             tensor = np.ascontiguousarray(matrix.reshape((2,) * (2 * k)))
             tensor.setflags(write=False)
             self._fixed_tensors[name] = tensor
+        elif self._telemetry.enabled:
+            self._telemetry.counter("backend.einsum.gate_tensors.hits").inc()
         return tensor
 
     def _op_matrix(self, op: "GateOp", params: np.ndarray,
@@ -175,6 +185,8 @@ class EinsumBatchBackend(SimulationBackend):
         k = len(targets)
         gate_shape = ((matrix.shape[0],) if gate_batched else ()) + (2,) * (2 * k)
         gate = matrix.reshape(gate_shape)
+        if self._telemetry.enabled:
+            self._telemetry.counter("backend.einsum.subscripts.requests").inc()
         subscripts = _apply_subscripts(n_qubits, tuple(targets), gate_batched)
         if tensor.size >= self.path_threshold:
             return np.einsum(subscripts, gate, tensor,
@@ -210,22 +222,32 @@ class EinsumBatchBackend(SimulationBackend):
                 f"state length {states.shape[1]} does not match {n} qubits")
         batch = states.shape[0]
         params, params_batched = self._normalise_params(circuit, batch, params)
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            telemetry.counter("backend.einsum.run_batched.calls").inc()
+            telemetry.counter("backend.einsum.run_batched.samples").inc(batch)
+            telemetry.gauge("backend.einsum.last_batch_size").set(batch)
         tensor = states.reshape((batch,) + (2,) * n)
         if return_intermediate:
             # Batched adjoint path: the gradient sweep needs the state stack
             # before every op, so fusion is disabled and each op is applied
             # individually (still one whole-batch contraction per op).
-            intermediates: List[np.ndarray] = []
-            for op in circuit.ops:
-                intermediates.append(tensor.reshape(batch, -1))
-                matrix, batched = self._op_matrix(op, params, params_batched)
-                tensor = self._apply_batched(tensor, matrix, op.qubits, n,
+            with telemetry.span("einsum.run_batched"):
+                intermediates: List[np.ndarray] = []
+                for op in circuit.ops:
+                    intermediates.append(tensor.reshape(batch, -1))
+                    matrix, batched = self._op_matrix(op, params,
+                                                      params_batched)
+                    tensor = self._apply_batched(tensor, matrix, op.qubits, n,
+                                                 batched)
+                return (np.ascontiguousarray(tensor.reshape(batch, -1)),
+                        intermediates)
+        with telemetry.span("einsum.run_batched"):
+            for matrix, targets, batched in self._gate_stream(circuit, params,
+                                                              params_batched):
+                tensor = self._apply_batched(tensor, matrix, targets, n,
                                              batched)
-            return np.ascontiguousarray(tensor.reshape(batch, -1)), intermediates
-        for matrix, targets, batched in self._gate_stream(circuit, params,
-                                                          params_batched):
-            tensor = self._apply_batched(tensor, matrix, targets, n, batched)
-        return np.ascontiguousarray(tensor.reshape(batch, -1))
+            return np.ascontiguousarray(tensor.reshape(batch, -1))
 
     def apply_gate_batched(self, states: np.ndarray, matrix: np.ndarray,
                            targets, n_qubits: int) -> np.ndarray:

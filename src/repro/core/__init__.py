@@ -46,6 +46,7 @@ from repro.core.training import (
     Model,
     QuantumTrainer,
     StepStrategy,
+    TelemetryCallback,
     Trainer,
     TrainingResult,
     evaluate_data_source,
@@ -71,6 +72,7 @@ __all__ = [
     "EarlyStopping",
     "BestModelTracker",
     "Checkpoint",
+    "TelemetryCallback",
     "train_model",
     "QuGeoDataConfig",
     "QuGeoVQCConfig",

@@ -34,8 +34,10 @@ remain as backwards-compatible aliases of the one engine.
 from __future__ import annotations
 
 import dataclasses
+import sys
 import warnings
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import (
     Dict,
     List,
@@ -56,6 +58,7 @@ from repro.core.vqc_model import QuGeoVQC
 from repro.data.dataset import FWIDataset
 from repro.metrics import mse, ssim
 from repro.nn import Adam, CosineAnnealingLR, MSELoss, Tensor
+from repro.telemetry import get_telemetry
 from repro.utils.logging import RunLogger
 from repro.utils.rng import ensure_rng
 from repro.utils.serialization import load_checkpoint, save_checkpoint
@@ -248,13 +251,14 @@ def evaluate_data_source(model: Model, source, split: str = "test",
         raise ValueError("empty evaluation set")
     limit = n_samples if batch_size is None else max(1, int(batch_size))
     predictions, targets = [], []
-    for start in range(0, n_samples, limit):
-        seismic, velocity = source.gather(
-            np.arange(start, min(start + limit, n_samples)))
-        predictions.append(model.predict_batch(seismic))
-        targets.append(velocity)
-    metrics = evaluate_predictions(np.concatenate(predictions, axis=0),
-                                   np.concatenate(targets, axis=0))
+    with get_telemetry().span("eval"):
+        for start in range(0, n_samples, limit):
+            seismic, velocity = source.gather(
+                np.arange(start, min(start + limit, n_samples)))
+            predictions.append(model.predict_batch(seismic))
+            targets.append(velocity)
+        metrics = evaluate_predictions(np.concatenate(predictions, axis=0),
+                                       np.concatenate(targets, axis=0))
     return {f"{split}_ssim": metrics["ssim"],
             f"{split}_mse": metrics["mse"]}
 
@@ -509,6 +513,61 @@ class EvalCallback(Callback):
         self.last_eval = (state.epoch, dict(metrics))
 
 
+class TelemetryCallback(Callback):
+    """Feed per-epoch timing from the telemetry registry into the metric log.
+
+    Added automatically by :meth:`Trainer.train` whenever telemetry is
+    recording (``QUGEO_TELEMETRY=summary``/``trace``); appended after every
+    other callback so the span totals it differences already include the
+    current epoch's evaluation.  Contributed metrics:
+
+    * ``epoch_seconds`` — wall time since the previous epoch's hook (the
+      first epoch measures from ``on_train_begin``), so it includes the
+      post-logging hooks of the *previous* epoch (checkpoint saves, ...);
+    * ``step_seconds`` / ``eval_seconds`` — per-epoch deltas of the matching
+      telemetry span totals (summed over every path ending in that leaf).
+
+    Stateless as far as checkpoints are concerned (``state_dict`` is empty):
+    a resumed run simply restarts its deltas from the resume point, and runs
+    recorded with telemetry off resume cleanly with it on (and vice versa).
+    """
+
+    #: span leaf name -> metric key for the per-epoch delta.
+    SPAN_METRICS = {"step": "step_seconds", "eval": "eval_seconds"}
+
+    def __init__(self) -> None:
+        self._mark: Optional[float] = None
+        self._baseline: Dict[str, float] = {}
+
+    def _leaf_totals(self, telemetry) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for path, total in telemetry.span_totals().items():
+            leaf = path.rsplit("/", 1)[-1]
+            if leaf in self.SPAN_METRICS:
+                totals[leaf] = totals.get(leaf, 0.0) + total
+        return totals
+
+    def on_train_begin(self, state: TrainerState) -> None:
+        self._mark = perf_counter()
+        self._baseline = self._leaf_totals(get_telemetry())
+
+    def on_epoch_end(self, state: TrainerState) -> None:
+        telemetry = get_telemetry()
+        if not telemetry.enabled:
+            return
+        now = perf_counter()
+        if self._mark is not None:
+            state.metrics["epoch_seconds"] = now - self._mark
+        self._mark = now
+        totals = self._leaf_totals(telemetry)
+        for leaf, metric in self.SPAN_METRICS.items():
+            delta = totals.get(leaf, 0.0) - self._baseline.get(leaf, 0.0)
+            if delta > 0.0:
+                state.metrics[metric] = delta
+        self._baseline = totals
+        telemetry.counter("trainer.epochs").inc()
+
+
 class EarlyStopping(Callback):
     """Stop training when a monitored metric stops improving."""
 
@@ -734,6 +793,13 @@ class Trainer:
             evaluator = EvalCallback()
             callbacks.insert(0, evaluator)
 
+        telemetry = get_telemetry()
+        if telemetry.enabled and not any(isinstance(cb, TelemetryCallback)
+                                         for cb in callbacks):
+            # Appended last so the span totals it differences already include
+            # this epoch's evaluation (EvalCallback runs earlier).
+            callbacks.append(TelemetryCallback())
+
         state = TrainerState(trainer=self, config=config, model=model,
                              strategy=strategy, optimizer=optimizer,
                              scheduler=scheduler, rng=rng, logger=logger,
@@ -771,19 +837,21 @@ class Trainer:
             order = rng.permutation(n_samples)
             epoch_loss = 0.0
             n_batches = 0
-            for start in range(0, n_samples, batch_size):
-                batch_seismic, batch_velocity = train_source.gather(
-                    order[start:start + batch_size])
-                optimizer.zero_grad()
-                epoch_loss += strategy.step(model, batch_seismic,
-                                            batch_velocity)
-                optimizer.step()
-                n_batches += 1
-            scheduler.step()
-            state.metrics = {"train_loss": epoch_loss / max(1, n_batches),
-                             "lr": epoch_lr}
-            for callback in callbacks:
-                callback.on_epoch_end(state)
+            with telemetry.span("trainer.epoch"):
+                for start in range(0, n_samples, batch_size):
+                    with telemetry.span("step"):
+                        batch_seismic, batch_velocity = train_source.gather(
+                            order[start:start + batch_size])
+                        optimizer.zero_grad()
+                        epoch_loss += strategy.step(model, batch_seismic,
+                                                    batch_velocity)
+                        optimizer.step()
+                    n_batches += 1
+                scheduler.step()
+                state.metrics = {"train_loss": epoch_loss / max(1, n_batches),
+                                 "lr": epoch_lr}
+                for callback in callbacks:
+                    callback.on_epoch_end(state)
             logger.log(epoch, **state.metrics)
             # Checkpoint hooks run after every other callback so the saved
             # snapshot includes their up-to-date state for this epoch
@@ -795,7 +863,7 @@ class Trainer:
             if state.stop_training:
                 if config.verbose and state.stop_reason:
                     print(f"[{logger.name}] stopping at epoch {epoch}: "
-                          f"{state.stop_reason}")
+                          f"{state.stop_reason}", file=sys.stderr)
                 break
 
         # on_train_end runs first (it may replace the model's weights, e.g.

@@ -45,12 +45,14 @@ import multiprocessing
 import os
 import tempfile
 from pathlib import Path
+from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.data.dataset import FWIDataset, FWISample
 from repro.data.openfwi import OpenFWIConfig, SyntheticOpenFWI, chunk_layout
+from repro.telemetry import get_telemetry
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -251,8 +253,11 @@ class DatasetStore:
         if seismic.shape[0] != velocity.shape[0]:
             raise ValueError("seismic / velocity chunk lengths differ")
         path = self.shard_path(fingerprint, chunk_index)
-        _atomic_replace(path, lambda handle: np.savez_compressed(
-            handle, seismic=seismic, velocity=velocity))
+        telemetry = get_telemetry()
+        telemetry.counter("store.shard_writes").inc()
+        with telemetry.span("store.write_shard"):
+            _atomic_replace(path, lambda handle: np.savez_compressed(
+                handle, seismic=seismic, velocity=velocity))
         record = {
             "file": path.name,
             "start": int(start),
@@ -268,8 +273,16 @@ class DatasetStore:
 
     def read_shard(self, fingerprint: str,
                    chunk_index: int) -> Tuple[np.ndarray, np.ndarray]:
-        with np.load(str(self.shard_path(fingerprint, chunk_index))) as data:
-            return data["seismic"], data["velocity"]
+        telemetry = get_telemetry()
+        with telemetry.span("store.read_shard"):
+            with np.load(str(self.shard_path(fingerprint,
+                                             chunk_index))) as data:
+                seismic, velocity = data["seismic"], data["velocity"]
+        if telemetry.enabled:
+            telemetry.counter("store.shard_reads").inc()
+            telemetry.counter("store.bytes_decompressed").inc(
+                int(seismic.nbytes) + int(velocity.nbytes))
+        return seismic, velocity
 
     def finalize(self, fingerprint: str, manifest: Dict[str, object]) -> None:
         """Mark an entry complete once every chunk's shard is registered."""
@@ -378,10 +391,15 @@ class ShardLoader:
         return self._velocity_shape
 
     def _load_chunk(self, chunk: int) -> Tuple[np.ndarray, np.ndarray]:
+        telemetry = get_telemetry()
         if chunk in self._cache:
+            if telemetry.enabled:
+                telemetry.counter("store.lru.hits").inc()
             self._cache_order.remove(chunk)
             self._cache_order.append(chunk)
             return self._cache[chunk]
+        if telemetry.enabled:
+            telemetry.counter("store.lru.misses").inc()
         arrays = self._store.read_shard(self._fingerprint_key, int(chunk))
         self._cache[chunk] = arrays
         self._cache_order.append(chunk)
@@ -609,8 +627,19 @@ def build_dataset(generator: SyntheticOpenFWI,
     # ``workers=None`` means serial here (an explicit opt-in is required to
     # spawn processes); ParallelGenerator's own default is all cores.
     pool = ParallelGenerator(config, generator.seed, workers=workers or 1)
+    telemetry = get_telemetry()
+    timing = telemetry.enabled
+    if timing and missing:
+        telemetry.counter("store.datagen.chunks").inc(len(missing))
+    last = perf_counter()
     for chunk_index, start, velocities, seismic in pool.generate_chunks(
             missing, progress=progress):
+        if timing:
+            # Wall time between completed chunks as seen by the consumer —
+            # with a worker pool this measures throughput, not worker time.
+            now = perf_counter()
+            telemetry.record_timer("store.datagen.chunk", now - last)
+            last = now
         if dataset_store is not None:
             dataset_store.write_shard(fingerprint, manifest, chunk_index,
                                       start, seismic, velocities)

@@ -16,6 +16,7 @@ producing the shot gathers that constitute OpenFWI-style seismic data.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -28,6 +29,7 @@ except ImportError:  # pragma: no cover - exercised via the fallback test
     _daxpy = None
 
 from repro.seismic.boundary import SpongeBoundary
+from repro.telemetry import get_telemetry
 
 
 # Central finite-difference coefficients for the second derivative.
@@ -369,6 +371,7 @@ class BatchedAcousticSimulator2D:
         self.config = config or SimulationConfig()
         self.config.validate_cfl(float(self.velocity.max()))
         self._mask = self.config.boundary.build_mask(self.velocity.shape)
+        self._telemetry = get_telemetry()
         coeffs = _LAPLACIAN_COEFFS[self.config.spatial_order]
         nz, nx = self.grid_shape
         self._coeffs_z = coeffs / self.config.dz**2
@@ -507,9 +510,22 @@ class BatchedAcousticSimulator2D:
         use_axpy = _daxpy is not None
         laplacian_into = self._laplacian_into
 
+        # Per-phase profiling accumulates into plain local floats and is
+        # flushed to the registry once after the loop; when telemetry is off
+        # the loop pays one local-bool check per phase and nothing else.
+        telemetry = self._telemetry
+        timing = telemetry.enabled
+        t_laplacian = t_update = t_inject = t_boundary = t_record = 0.0
+        loop_start = perf_counter()
+
         for step in range(n_steps):
+            if timing:
+                t0 = perf_counter()
             # p_next = 2 p_curr - p_prev + dt^2 c^2 laplacian(p_curr)
             laplacian_into(p_curr, lap, lap_x)
+            if timing:
+                t1 = perf_counter()
+                t_laplacian += t1 - t0
             np.multiply(lap, c2dt2, out=p_next)
             if use_axpy:
                 # One fused pass per term (y += a*x); 2*p is bit-identical
@@ -521,19 +537,51 @@ class BatchedAcousticSimulator2D:
                 p_next -= p_prev
                 p_next += p_curr
                 p_next += p_curr
+            if timing:
+                t2 = perf_counter()
+                t_update += t2 - t1
             p_flat = flat_views[id(p_next)]
             p_flat[inject_rows, inject_cols] += inject_amps[:, step]
+            if timing:
+                t3 = perf_counter()
+                t_inject += t3 - t2
 
             # Sponge damping on both time levels keeps the scheme stable;
             # the 2-D mask broadcasts over the leading batch axes.
             p_next *= mask
             p_curr *= mask
+            if timing:
+                t4 = perf_counter()
+                t_boundary += t4 - t3
 
             gather_flat[:, step, :] = p_flat[:, rec_flat]
             if record_wavefield and step % wavefield_stride == 0:
                 snapshots.append(p_next.copy())
+            if timing:
+                t_record += perf_counter() - t4
 
             p_prev, p_curr, p_next = p_curr, p_next, p_prev
+
+        if timing:
+            elapsed = perf_counter() - loop_start
+            telemetry.record_timer("propagator.laplacian", t_laplacian,
+                                   count=n_steps)
+            telemetry.record_timer("propagator.update", t_update,
+                                   count=n_steps)
+            telemetry.record_timer("propagator.inject", t_inject,
+                                   count=n_steps)
+            telemetry.record_timer("propagator.boundary", t_boundary,
+                                   count=n_steps)
+            telemetry.record_timer("propagator.record", t_record,
+                                   count=n_steps)
+            telemetry.counter("propagator.steps").inc(n_steps)
+            telemetry.counter("propagator.shots").inc(n_shots)
+            telemetry.counter("propagator.wavefields").inc(total_batch)
+            if elapsed > 0:
+                telemetry.gauge("propagator.steps_per_sec").set(
+                    n_steps / elapsed)
+                telemetry.gauge("propagator.wavefield_steps_per_sec").set(
+                    n_steps * total_batch / elapsed)
 
         if record_wavefield:
             return gather, snapshots

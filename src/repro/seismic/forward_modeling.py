@@ -24,6 +24,7 @@ from repro.seismic.acoustic2d import SimulationConfig, stable_time_step
 from repro.seismic.propagators import PropagatorSpec, get_propagator
 from repro.seismic.survey import SurveyGeometry
 from repro.seismic.wavelets import ricker_wavelet
+from repro.telemetry import get_telemetry
 
 
 def normalize_per_shot(data: np.ndarray) -> np.ndarray:
@@ -90,13 +91,17 @@ class ForwardModel:
         if velocity.ndim != 2:
             raise ValueError("velocity must be a 2-D map [depth, offset]")
         self._check_width(velocity)
-        simulator = get_propagator(self.propagator)(velocity, self.config)
-        data = simulator.simulate_shots(self.survey.source_positions(),
-                                        self.source_wavelet(),
-                                        self.survey.receiver_positions())
-        if self.normalize:
-            data = normalize_per_shot(data)
-        return data
+        telemetry = get_telemetry()
+        telemetry.counter("forward_model.calls").inc()
+        telemetry.counter("forward_model.models").inc()
+        with telemetry.span("forward_model.shots"):
+            simulator = get_propagator(self.propagator)(velocity, self.config)
+            data = simulator.simulate_shots(self.survey.source_positions(),
+                                            self.source_wavelet(),
+                                            self.survey.receiver_positions())
+            if self.normalize:
+                data = normalize_per_shot(data)
+            return data
 
     def model_shots_batch(self, velocities: np.ndarray,
                           chunk_size: Optional[int] = None) -> np.ndarray:
@@ -135,14 +140,20 @@ class ForwardModel:
         wavelet = self.source_wavelet()
         n_models = velocities.shape[0]
         chunk = n_models if chunk_size is None else max(1, int(chunk_size))
-        blocks = []
-        for start in range(0, n_models, chunk):
-            simulator = factory(velocities[start:start + chunk], self.config)
-            blocks.append(simulator.simulate_shots(sources, wavelet, receivers))
-        data = np.concatenate(blocks, axis=0)
-        if self.normalize:
-            data = normalize_per_shot(data)
-        return data
+        telemetry = get_telemetry()
+        telemetry.counter("forward_model.calls").inc()
+        telemetry.counter("forward_model.models").inc(n_models)
+        with telemetry.span("forward_model.shots"):
+            blocks = []
+            for start in range(0, n_models, chunk):
+                simulator = factory(velocities[start:start + chunk],
+                                    self.config)
+                blocks.append(
+                    simulator.simulate_shots(sources, wavelet, receivers))
+            data = np.concatenate(blocks, axis=0)
+            if self.normalize:
+                data = normalize_per_shot(data)
+            return data
 
 
 def forward_model_shot_gather(velocity: np.ndarray,

@@ -1,0 +1,51 @@
+"""Zero-dependency observability for the whole stack.
+
+See :mod:`repro.telemetry.core` for the registry and
+:mod:`repro.telemetry.report` for the ASCII profile rendering.  The hot
+paths of the stack (einsum backend, batched gradient engine, acoustic
+propagator, dataset store, training engine) are instrumented against the
+process-wide registry returned by :func:`get_telemetry`; recording is
+switched on with the ``QUGEO_TELEMETRY`` environment variable (``off`` /
+``summary`` / ``trace``) or in-process via :func:`configure` /
+:func:`capture`.
+"""
+
+from repro.telemetry.core import (
+    ENV_VAR,
+    MODES,
+    Counter,
+    Gauge,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_SPAN,
+    Stat,
+    Telemetry,
+    capture,
+    configure,
+    get_telemetry,
+)
+from repro.telemetry.report import (
+    counters_table,
+    render_report,
+    spans_table,
+    timers_table,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "MODES",
+    "Counter",
+    "Gauge",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_SPAN",
+    "Stat",
+    "Telemetry",
+    "capture",
+    "configure",
+    "get_telemetry",
+    "counters_table",
+    "render_report",
+    "spans_table",
+    "timers_table",
+]

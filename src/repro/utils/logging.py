@@ -1,36 +1,60 @@
 """A minimal structured run logger.
 
 Training loops record scalar metrics per epoch; the logger keeps them in
-memory (for tests and plots) and can optionally echo them to stdout.  It is a
-tiny replacement for TensorBoard-style logging that keeps the library free of
+memory (for tests and plots) and can optionally echo them to a stream —
+``sys.stderr`` by default, so verbose runs never corrupt machine-readable
+stdout (benchmark ``--json`` output, shell pipelines).  It is a tiny
+replacement for TensorBoard-style logging that keeps the library free of
 external dependencies.
 """
 
 from __future__ import annotations
 
+import sys
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TextIO
 
 
 class RunLogger:
-    """Collects per-step scalar metrics keyed by name."""
+    """Collects per-step scalar metrics keyed by name.
+
+    Parameters
+    ----------
+    name:
+        Label prefixed to every echoed line.
+    verbose:
+        Echo every ``print_every``-th logged step to ``stream``.
+    print_every:
+        Echo cadence, counted in *logged* steps (not raw step indices), so
+        a run resumed from epoch 37 prints on the same rhythm as a fresh
+        one and sparse eval-only logs still surface.
+    stream:
+        Destination of echoed lines.  ``None`` (the default) resolves to
+        ``sys.stderr`` at print time, so pytest's capture and late
+        redirection both work.
+    """
 
     def __init__(self, name: str = "run", verbose: bool = False,
-                 print_every: int = 1) -> None:
+                 print_every: int = 1,
+                 stream: Optional[TextIO] = None) -> None:
         self.name = name
         self.verbose = verbose
         self.print_every = max(1, int(print_every))
+        self.stream = stream
         self._history: Dict[str, List[float]] = defaultdict(list)
         self._steps: Dict[str, List[int]] = defaultdict(list)
+        self._n_logged = 0
 
     def log(self, step: int, **metrics: float) -> None:
         """Record ``metrics`` at ``step`` (typically the epoch index)."""
         for key, value in metrics.items():
             self._history[key].append(float(value))
             self._steps[key].append(int(step))
-        if self.verbose and step % self.print_every == 0:
+        self._n_logged += 1
+        if self.verbose and (self._n_logged - 1) % self.print_every == 0:
             rendered = ", ".join(f"{k}={float(v):.6g}" for k, v in metrics.items())
-            print(f"[{self.name}] step {step}: {rendered}")
+            stream = self.stream if self.stream is not None else sys.stderr
+            print(f"[{self.name}] step {step}: {rendered}", file=stream)
 
     def history(self, key: str) -> List[float]:
         """Return every recorded value of metric ``key`` in log order."""
@@ -63,7 +87,8 @@ class RunLogger:
         return {"name": self.name,
                 "history": self.as_dict(),
                 "steps": {key: list(values)
-                          for key, values in self._steps.items()}}
+                          for key, values in self._steps.items()},
+                "n_logged": self._n_logged}
 
     def load_state_dict(self, state: Dict[str, object]) -> None:
         """Replace the recorded history with one from :meth:`state_dict`."""
@@ -74,3 +99,8 @@ class RunLogger:
         self._steps = defaultdict(list)
         for key, values in state["steps"].items():
             self._steps[key] = [int(value) for value in values]
+        # Older checkpoints predate the logged-step counter; reconstruct it
+        # from the longest metric series so the echo cadence stays aligned.
+        self._n_logged = int(state.get(
+            "n_logged",
+            max((len(values) for values in self._steps.values()), default=0)))

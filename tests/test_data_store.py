@@ -377,3 +377,46 @@ class TestExperimentPreparation:
         config = small_config(n_samples=4, chunk_size=2)
         dataset = prepare_dataset(config, seed=6)
         assert len(dataset) == 4
+
+
+class TestStoreTelemetry:
+    def test_cache_hit_records_zero_forward_model_spans(self, tmp_path):
+        from repro.telemetry import capture
+
+        config = small_config(n_samples=4, chunk_size=2)
+        open_or_build(config, seed=5, cache_dir=tmp_path)  # cold build
+        with capture("summary") as telemetry:
+            open_or_build(config, seed=5, cache_dir=tmp_path)  # pure hit
+            snapshot = telemetry.snapshot()
+        assert not any("forward_model" in path for path in snapshot["spans"])
+        assert "forward_model.calls" not in snapshot["counters"]
+        # The hit is served from shards, which the registry does see.
+        assert snapshot["counters"]["store.shard_reads"] > 0
+        assert snapshot["counters"]["store.bytes_decompressed"] > 0
+
+    def test_cold_build_records_forward_model_and_writes(self, tmp_path):
+        from repro.telemetry import capture
+
+        config = small_config(n_samples=4, chunk_size=2)
+        with capture("summary") as telemetry:
+            open_or_build(config, seed=5, cache_dir=tmp_path)
+            snapshot = telemetry.snapshot()
+        assert snapshot["counters"]["forward_model.calls"] > 0
+        assert snapshot["counters"]["store.shard_writes"] == 2
+        assert snapshot["counters"]["store.datagen.chunks"] == 2
+        assert snapshot["timers"]["store.datagen.chunk"]["count"] == 2
+
+    def test_warm_shard_loader_reports_lru_hits(self, tmp_path):
+        from repro.telemetry import capture
+
+        config = small_config()  # 10 samples in chunks of 3 -> 4 shards
+        open_or_build(config, seed=4, cache_dir=tmp_path)
+        with capture("summary") as telemetry:
+            loader = open_or_build(config, seed=4, cache_dir=tmp_path,
+                                   stream=True)
+            loader.gather(np.arange(len(loader)))  # cold sweep
+            loader.gather(np.arange(len(loader)))  # warm sweep
+            counters = telemetry.snapshot()["counters"]
+        assert counters["store.lru.hits"] > 0
+        # Four shards fit the default cache: the warm sweep misses nothing.
+        assert counters["store.lru.misses"] == 4

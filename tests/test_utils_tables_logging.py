@@ -72,9 +72,53 @@ class TestRunLogger:
         exported["loss"].append(123.0)
         assert logger.history("loss") == [1.0]
 
-    def test_verbose_prints(self, capsys):
+    def test_verbose_prints_to_stderr(self, capsys):
         logger = RunLogger(name="demo", verbose=True)
         logger.log(0, loss=1.0)
         captured = capsys.readouterr()
-        assert "demo" in captured.out
-        assert "loss" in captured.out
+        assert "demo" in captured.err
+        assert "loss" in captured.err
+        # stdout stays clean for machine-readable output (--json, pipes).
+        assert captured.out == ""
+
+    def test_verbose_custom_stream(self):
+        import io
+
+        sink = io.StringIO()
+        logger = RunLogger(name="demo", verbose=True, stream=sink)
+        logger.log(0, loss=1.0)
+        assert "[demo] step 0" in sink.getvalue()
+
+    def test_print_every_counts_logged_steps_not_raw_step(self, capsys):
+        # A resumed run logging epochs 37, 38, ... with print_every=10 must
+        # echo its first logged step and then every 10th thereafter.
+        logger = RunLogger(name="demo", verbose=True, print_every=10)
+        for step in range(37, 60):
+            logger.log(step, loss=1.0)
+        lines = capsys.readouterr().err.splitlines()
+        assert [line.split()[2].rstrip(":") for line in lines] == ["37", "47", "57"]
+
+    def test_print_every_survives_state_roundtrip(self, capsys):
+        logger = RunLogger(name="demo", verbose=True, print_every=2)
+        logger.log(0, loss=1.0)
+        logger.log(1, loss=0.9)
+        logger.log(2, loss=0.8)
+        state = logger.state_dict()
+        capsys.readouterr()
+
+        resumed = RunLogger(name="demo", verbose=True, print_every=2)
+        resumed.load_state_dict(state)
+        resumed.log(3, loss=0.7)  # 4th logged step: silent
+        resumed.log(4, loss=0.6)  # 5th logged step: printed
+        lines = capsys.readouterr().err.splitlines()
+        assert len(lines) == 1 and "step 4" in lines[0]
+
+    def test_load_state_dict_without_n_logged_reconstructs_count(self):
+        logger = RunLogger()
+        logger.log(0, loss=1.0)
+        logger.log(1, loss=0.9)
+        state = logger.state_dict()
+        del state["n_logged"]  # checkpoint written before the counter existed
+        resumed = RunLogger()
+        resumed.load_state_dict(state)
+        assert resumed._n_logged == 2
