@@ -26,6 +26,7 @@ from common import (add_cache_dir_argument, add_json_argument,
                     apply_cache_dir, write_json)
 
 from repro.backends import available_backends, get_backend
+from repro.xm import array_module_available
 from repro.quantum.ansatz import u3_cu3_ansatz
 from repro.utils.tables import format_table
 
@@ -112,6 +113,11 @@ def main() -> int:
         qubit_counts, batch_sizes = (4, 6, 8, 10), (1, 8, 32)
     backend_names = [name for name in ("numpy", "einsum")
                      if name in available_backends()]
+    # Optional array-module engines join the table when their library is
+    # importable; on the core image they are registered but unavailable.
+    backend_names += [name for name in ("torch", "cupy")
+                      if name in available_backends()
+                      and array_module_available(name)]
     rows, speedups = run_benchmark(qubit_counts, batch_sizes, args.blocks,
                                    args.repeats, backend_names)
     text = render(rows)

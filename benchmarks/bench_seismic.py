@@ -2,10 +2,13 @@
 
 Times the QuGeoData "Forward Modeling" hot path: a 5-shot survey over
 OpenFWI-sized (70x70) layered velocity maps, propagated by the ``scalar``
-engine (one Python time loop per shot) and the ``batched`` engine (one
-shared time loop advancing every shot — and, on the multi-map rows, several
-velocity models — at once).  The engines agree to machine precision, so the
-speedup is pure wall-clock.
+engine (one Python time loop per shot), the ``batched`` engine (one shared
+time loop advancing every shot — and, on the multi-map rows, several
+velocity models — at once) and the batched engine under the ``float32``
+dtype policy (half the memory traffic; receiver traces still accumulate in
+float64).  Scalar and batched float64 agree to machine precision, so that
+speedup is pure wall-clock; the float32 rows trade ~1e-6 relative error for
+additional throughput.
 
 Run directly (CI uses ``--quick``)::
 
@@ -27,6 +30,7 @@ from common import (add_cache_dir_argument, add_json_argument,
                     apply_cache_dir, write_json)
 
 from repro.seismic import (
+    BatchedAcousticSimulator2D,
     ForwardModel,
     SimulationConfig,
     SpongeBoundary,
@@ -53,6 +57,18 @@ def _velocities(n_maps: int) -> np.ndarray:
                      for seed in range(n_maps)])
 
 
+#: Engine column order: the float32 row reuses the batched engine under the
+#: reduced-precision dtype policy (resolved through a propagator factory).
+ENGINES = ("scalar", "batched", "batched-f32")
+
+
+def _propagator_spec(name: str):
+    if name == "batched-f32":
+        return lambda velocity, config: BatchedAcousticSimulator2D(
+            velocity, config, policy="float32")
+    return name
+
+
 def _forward_model(n_steps: int, propagator: str) -> ForwardModel:
     dt = stable_time_step(MAX_VELOCITY, dx=DX, spatial_order=4)
     config = SimulationConfig(dx=DX, dz=DX, dt=dt, n_steps=n_steps,
@@ -60,7 +76,8 @@ def _forward_model(n_steps: int, propagator: str) -> ForwardModel:
                               boundary=SpongeBoundary(width=12))
     survey = SurveyGeometry(n_sources=N_SOURCES, n_receivers=N_RECEIVERS,
                             nx=GRID[1])
-    return ForwardModel(survey=survey, config=config, propagator=propagator)
+    return ForwardModel(survey=survey, config=config,
+                        propagator=_propagator_spec(propagator))
 
 
 def _time_interleaved(fns: Dict[str, object], repeats: int) -> Dict[str, float]:
@@ -78,12 +95,14 @@ def _time_interleaved(fns: Dict[str, object], repeats: int) -> Dict[str, float]:
     return best
 
 
-def run_benchmark(n_steps: int, map_batch: int, chunk: int,
-                  repeats: int) -> Tuple[List[List[object]], Dict[str, float]]:
-    """Return table rows and ``{scenario: batched-vs-scalar speedup}``."""
+def run_benchmark(n_steps: int, map_batch: int, chunk: int, repeats: int
+                  ) -> Tuple[List[List[object]], Dict[str, float],
+                             Dict[str, float]]:
+    """Return table rows, batched-vs-scalar and float32-vs-float64 speedups."""
     velocities = _velocities(map_batch)
     rows: List[List[object]] = []
     speedups: Dict[str, float] = {}
+    float32_speedups: Dict[str, float] = {}
 
     scenarios = [
         (f"1 map x {N_SOURCES} shots", 1,
@@ -93,21 +112,23 @@ def run_benchmark(n_steps: int, map_batch: int, chunk: int,
     ]
     for label, n_maps, runner in scenarios:
         runs = {}
-        for name in ("scalar", "batched"):
+        for name in ENGINES:
             model = _forward_model(n_steps, propagator=name)
             runner(model)  # warm-up (allocator, caches)
             runs[name] = (lambda m=model: runner(m))
         timings = _time_interleaved(runs, repeats)
-        factor = (timings["scalar"] / timings["batched"]
-                  if timings["batched"] > 0 else float("inf"))
-        speedups[label] = factor
+        speedups[label] = (timings["scalar"] / timings["batched"]
+                           if timings["batched"] > 0 else float("inf"))
+        float32_speedups[label] = (
+            timings["batched"] / timings["batched-f32"]
+            if timings["batched-f32"] > 0 else float("inf"))
         n_shots = n_maps * N_SOURCES
-        for name in ("scalar", "batched"):
+        for name in ENGINES:
             elapsed = timings[name]
             rows.append([name, label, n_steps, n_shots, elapsed * 1e3,
                          elapsed * 1e3 / n_shots,
                          f"{(timings['scalar'] / elapsed):.2f}x"])
-    return rows, speedups
+    return rows, speedups, float32_speedups
 
 
 def render(rows: List[List[object]], n_steps: int) -> str:
@@ -141,7 +162,8 @@ def main() -> int:
     else:
         n_steps, map_batch, chunk = 1000, 16, 4
 
-    rows, speedups = run_benchmark(n_steps, map_batch, chunk, args.repeats)
+    rows, speedups, float32_speedups = run_benchmark(n_steps, map_batch,
+                                                     chunk, args.repeats)
     text = render(rows, n_steps)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / "bench_seismic.txt"
@@ -154,12 +176,15 @@ def main() -> int:
         write_json("bench_seismic",
                    {"n_steps": n_steps, "map_batch": map_batch,
                     "rows": [dict(zip(header, row)) for row in rows],
-                    "speedups": speedups},
+                    "speedups": speedups,
+                    "float32_speedups": float32_speedups},
                    path=args.json)
 
     single_map = next(iter(speedups.values()))
     for label, factor in speedups.items():
         print(f"batched vs scalar, {label}: {factor:.2f}x")
+    for label, factor in float32_speedups.items():
+        print(f"float32 vs float64 (batched), {label}: {factor:.2f}x")
     if args.assert_speedup is not None and single_map < args.assert_speedup:
         print(f"FAIL: expected >= {args.assert_speedup:.2f}x on the "
               f"single-map scenario, got {single_map:.2f}x")

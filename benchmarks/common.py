@@ -61,6 +61,7 @@ from repro.core import (
 from repro.core.config import QuGeoDataConfig, QuGeoVQCConfig, TrainingConfig
 from repro.core.training import TrainingResult
 from repro.data import build_flatvel_dataset, train_test_split
+from repro.utils import env
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -102,9 +103,7 @@ _SCALES = {
 
 def bench_scale() -> BenchScale:
     """Return the active benchmark scale (``QUGEO_BENCH_SCALE``)."""
-    name = os.environ.get("QUGEO_BENCH_SCALE", "small").lower()
-    if name not in _SCALES:
-        raise ValueError(f"QUGEO_BENCH_SCALE must be one of {sorted(_SCALES)}")
+    name = env.get_choice(env.BENCH_SCALE, "small", sorted(_SCALES))
     return _SCALES[name]
 
 
@@ -136,13 +135,12 @@ def classical_training_config() -> TrainingConfig:
 
 def cache_dir() -> Optional[str]:
     """The dataset-store directory (``QUGEO_CACHE_DIR``), if configured."""
-    return os.environ.get("QUGEO_CACHE_DIR") or None
+    return env.get_path(env.CACHE_DIR)
 
 
 def datagen_workers() -> Optional[int]:
     """Worker-pool size for cold dataset builds (``QUGEO_DATAGEN_WORKERS``)."""
-    value = os.environ.get("QUGEO_DATAGEN_WORKERS")
-    return int(value) if value else None
+    return env.get_int(env.DATAGEN_WORKERS, None, minimum=1)
 
 
 @lru_cache(maxsize=1)
@@ -293,7 +291,7 @@ def write_json(name: str, payload: Dict, path: Optional[Union[str, Path]] = None
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
     document = {"benchmark": name,
-                "scale": os.environ.get("QUGEO_BENCH_SCALE", "small"),
+                "scale": bench_scale().name,
                 "meta": environment_meta()}
     telemetry = get_telemetry()
     if telemetry.enabled:
@@ -338,4 +336,4 @@ def add_cache_dir_argument(parser) -> None:
 def apply_cache_dir(path: Optional[Union[str, Path]]) -> None:
     """Export ``--cache-dir`` so every dataset build in the process sees it."""
     if path:
-        os.environ["QUGEO_CACHE_DIR"] = str(path)
+        os.environ[env.CACHE_DIR] = str(path)

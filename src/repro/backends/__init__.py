@@ -16,6 +16,11 @@ The default is chosen per call site (an explicit argument or
 environment variable and then to ``"numpy"``.  Future engines (GPU, sparse,
 remote hardware) plug in with :func:`register_backend` without touching any
 caller.
+
+The ``"torch"`` and ``"cupy"`` engines are the einsum engine re-based onto
+the corresponding :mod:`repro.xm` array module — same contraction strategy,
+device-resident tensors.  They are always *listed* but resolving them raises
+a clear error when the optional dependency is not installed.
 """
 
 from repro.backends.base import BackendCapabilities, SimulationBackend
@@ -34,8 +39,25 @@ from repro.backends.registry import (
 from repro.backends.numpy_loop import NumpyLoopBackend
 from repro.backends.einsum_batch import EinsumBatchBackend
 
+def _array_module_backend(module_name: str):
+    """Factory for an einsum engine running on a non-NumPy array module.
+
+    Raises ``ArrayModuleUnavailableError`` (an ``ImportError``) at
+    resolution time when the optional dependency is missing, so the names
+    always appear in ``available_backends()`` but fail loudly on machines
+    without the package.
+    """
+    from repro.xm import get_array_module
+
+    backend = EinsumBatchBackend(xm=get_array_module(module_name))
+    backend.name = module_name
+    return backend
+
+
 register_backend("numpy", NumpyLoopBackend)
 register_backend("einsum", EinsumBatchBackend)
+register_backend("torch", lambda: _array_module_backend("torch"))
+register_backend("cupy", lambda: _array_module_backend("cupy"))
 
 __all__ = [
     "BACKEND_ENV_VAR",

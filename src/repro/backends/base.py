@@ -37,8 +37,11 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
+from repro.xm import get_array_module, get_dtype_policy
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.quantum.circuit import ParameterizedCircuit
+    from repro.xm import ArrayOps, DTypePolicy
 
 
 @dataclass(frozen=True)
@@ -93,6 +96,17 @@ class SimulationBackend(ABC):
     #: Capability flags; override in subclasses.
     capabilities: BackendCapabilities = BackendCapabilities()
 
+    def __init__(self, xm: "ArrayOps" = None,
+                 policy: "DTypePolicy" = None) -> None:
+        """Bind the engine to an array module and a dtype policy.
+
+        Both default to the ambient resolution (``QUGEO_ARRAY_MODULE`` /
+        ``QUGEO_DTYPE`` environment variables, then ``numpy`` / ``float64``),
+        which reproduces the historical hard-coded behaviour exactly.
+        """
+        self.xm = get_array_module(xm)
+        self.policy = get_dtype_policy(policy)
+
     # ------------------------------------------------------------------ #
     # core execution
     # ------------------------------------------------------------------ #
@@ -136,7 +150,7 @@ class SimulationBackend(ABC):
         :func:`repro.quantum.autodiff.circuit_gradients_batched` relies on.
         The default implementation loops over :meth:`run`.
         """
-        states = np.asarray(states, dtype=np.complex128)
+        states = np.asarray(states, dtype=self.policy.complex)
         if states.ndim != 2:
             raise ValueError("states must have shape (batch, 2**n_qubits)")
         per_state_params = self._per_state_params(circuit, states.shape[0], params)
@@ -173,24 +187,31 @@ class SimulationBackend(ABC):
     # ------------------------------------------------------------------ #
     # shared input validation (one copy of the run() contract)
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def validate_state(circuit: "ParameterizedCircuit",
+    def validate_state(self, circuit: "ParameterizedCircuit",
                        state: np.ndarray) -> np.ndarray:
-        """Coerce ``state`` to a flat complex vector of the register size."""
-        state = np.asarray(state, dtype=np.complex128).reshape(-1)
+        """Coerce ``state`` to a flat complex vector of the register size.
+
+        The vector is cast to the policy's complex compute dtype
+        (``complex128`` by default, ``complex64`` under the float32 policy).
+        """
+        state = np.asarray(state, dtype=self.policy.complex).reshape(-1)
         if state.size != 2**circuit.n_qubits:
             raise ValueError(
                 f"state length {state.size} does not match "
                 f"{circuit.n_qubits} qubits")
         return state
 
-    @staticmethod
-    def validate_params(circuit: "ParameterizedCircuit",
+    def validate_params(self, circuit: "ParameterizedCircuit",
                         params: Optional[np.ndarray]) -> np.ndarray:
-        """Coerce ``params`` to a flat float vector (``None`` -> zeros)."""
+        """Coerce ``params`` to a flat float vector (``None`` -> zeros).
+
+        Parameters (gate angles) always stay in the accumulation precision:
+        they are few, they parameterise trig evaluations, and gradients with
+        respect to them are accumulated in float64 under every policy.
+        """
         if params is None:
-            return np.zeros(circuit.n_params)
-        params = np.asarray(params, dtype=np.float64).reshape(-1)
+            return np.zeros(circuit.n_params, dtype=self.policy.accum_real)
+        params = np.asarray(params, dtype=self.policy.accum_real).reshape(-1)
         if params.size != circuit.n_params:
             raise ValueError(
                 f"expected {circuit.n_params} parameters, got {params.size}")
@@ -209,7 +230,8 @@ class SimulationBackend(ABC):
         """
         from repro.quantum.gates import apply_matrix
 
-        return apply_matrix(state, matrix, targets, n_qubits)
+        return apply_matrix(state, matrix, targets, n_qubits,
+                            dtype=self.policy.complex)
 
     def apply_gate_batched(self, states: np.ndarray, matrix: np.ndarray,
                            targets: Sequence[int], n_qubits: int) -> np.ndarray:
@@ -220,7 +242,7 @@ class SimulationBackend(ABC):
         :meth:`apply_gate`; backends advertising ``batched_adjoint``
         override it with a vectorised kernel.
         """
-        states = np.asarray(states, dtype=np.complex128)
+        states = np.asarray(states, dtype=self.policy.complex)
         if states.ndim != 2:
             raise ValueError("states must have shape (batch, 2**n_qubits)")
         return np.stack([self.apply_gate(state, matrix, targets, n_qubits)

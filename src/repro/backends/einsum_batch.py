@@ -92,27 +92,39 @@ class EinsumBatchBackend(SimulationBackend):
     #: the plain C einsum kernel, whose per-call overhead is lower.
     path_threshold: int = 1 << 13
 
-    def __init__(self, fuse_single_qubit_gates: bool = True) -> None:
+    def __init__(self, fuse_single_qubit_gates: bool = True,
+                 xm=None, policy=None) -> None:
+        super().__init__(xm=xm, policy=policy)
         self.fuse_single_qubit_gates = bool(fuse_single_qubit_gates)
-        self._fixed_tensors: Dict[str, np.ndarray] = {}
+        self._fixed_tensors: Dict[Tuple[str, str], np.ndarray] = {}
         self._paths: Dict[Tuple[str, Tuple[int, ...], Tuple[int, ...]], list] = {}
         self._telemetry = get_telemetry()
 
     # ------------------------------------------------------------------ #
     # gate material
     # ------------------------------------------------------------------ #
-    def _fixed_tensor(self, name: str) -> np.ndarray:
-        """Memoised ``(2,) * 2k`` tensor form of a fixed gate."""
-        tensor = self._fixed_tensors.get(name)
+    def _fixed_tensor(self, name: str):
+        """Memoised ``(2,) * 2k`` tensor form of a fixed gate.
+
+        Cached per ``(gate name, complex dtype)`` so a policy change on the
+        instance can never serve a tensor of the wrong precision, and stored
+        as the array module's native type (device-resident on GPU modules).
+        """
+        dtype = self.policy.complex
+        key = (name, dtype.str)
+        tensor = self._fixed_tensors.get(key)
         if tensor is None:
             if self._telemetry.enabled:
                 self._telemetry.counter(
                     "backend.einsum.gate_tensors.misses").inc()
             matrix = GATES[name]
             k = int(np.log2(matrix.shape[0]))
-            tensor = np.ascontiguousarray(matrix.reshape((2,) * (2 * k)))
-            tensor.setflags(write=False)
-            self._fixed_tensors[name] = tensor
+            host = np.ascontiguousarray(
+                matrix.reshape((2,) * (2 * k)).astype(dtype, copy=False))
+            tensor = self.xm.asarray(host, dtype=dtype)
+            if isinstance(tensor, np.ndarray):
+                tensor.setflags(write=False)
+            self._fixed_tensors[key] = tensor
         elif self._telemetry.enabled:
             self._telemetry.counter("backend.einsum.gate_tensors.hits").inc()
         return tensor
@@ -121,17 +133,19 @@ class EinsumBatchBackend(SimulationBackend):
                    params_batched: bool) -> Tuple[np.ndarray, bool]:
         """Gate material for one op as ``(matrix, batched)``.
 
-        ``matrix`` is a ``(2**k, 2**k)`` matrix, its ``(2,) * 2k`` tensor
-        form (fixed gates, memoised) or a ``(batch, 2**k, 2**k)`` stack;
-        :meth:`_apply_batched` reshapes uniformly.
+        ``matrix`` is a native ``(2**k, 2**k)`` matrix, its ``(2,) * 2k``
+        tensor form (fixed gates, memoised) or a ``(batch, 2**k, 2**k)``
+        stack; :meth:`_apply_batched` reshapes uniformly.
         """
         if not op.is_parametric:
             return self._fixed_tensor(op.name), False
         if params_batched:
             columns = tuple(params[:, i] for i in op.param_indices)
-            return PARAMETRIC_GATES[op.name].matrix_stack(columns), True
+            stack = PARAMETRIC_GATES[op.name].matrix_stack(columns)
+            return self.xm.asarray(stack, dtype=self.policy.complex), True
         gate_params = [float(params[i]) for i in op.param_indices]
-        return PARAMETRIC_GATES[op.name].matrix(gate_params), False
+        matrix = PARAMETRIC_GATES[op.name].matrix(gate_params)
+        return self.xm.asarray(matrix, dtype=self.policy.complex), False
 
     # ------------------------------------------------------------------ #
     # fused gate stream
@@ -181,18 +195,19 @@ class EinsumBatchBackend(SimulationBackend):
     def _apply_batched(self, tensor: np.ndarray, matrix: np.ndarray,
                        targets: Tuple[int, ...], n_qubits: int,
                        gate_batched: bool) -> np.ndarray:
-        """One einsum contraction over the whole batch."""
+        """One einsum contraction over the whole batch (native arrays)."""
         k = len(targets)
         gate_shape = ((matrix.shape[0],) if gate_batched else ()) + (2,) * (2 * k)
-        gate = matrix.reshape(gate_shape)
+        gate = self.xm.reshape(matrix, gate_shape)
         if self._telemetry.enabled:
             self._telemetry.counter("backend.einsum.subscripts.requests").inc()
         subscripts = _apply_subscripts(n_qubits, tuple(targets), gate_batched)
-        if tensor.size >= self.path_threshold:
+        if (self.xm.supports_einsum_path
+                and self.xm.size(tensor) >= self.path_threshold):
             return np.einsum(subscripts, gate, tensor,
                              optimize=self._contraction_path(
                                  subscripts, gate, tensor))
-        return np.einsum(subscripts, gate, tensor)
+        return self.xm.einsum(subscripts, gate, tensor)
 
     def _contraction_path(self, subscripts: str, gate: np.ndarray,
                           tensor: np.ndarray) -> list:
@@ -213,54 +228,60 @@ class EinsumBatchBackend(SimulationBackend):
     def run_batched(self, circuit: "ParameterizedCircuit", states: np.ndarray,
                     params: Optional[np.ndarray] = None,
                     return_intermediate: bool = False):
-        states = np.asarray(states, dtype=np.complex128)
-        if states.ndim != 2:
+        host_states = np.asarray(states)
+        if host_states.ndim != 2:
             raise ValueError("states must have shape (batch, 2**n_qubits)")
         n = circuit.n_qubits
-        if states.shape[1] != 2**n:
+        if host_states.shape[1] != 2**n:
             raise ValueError(
-                f"state length {states.shape[1]} does not match {n} qubits")
-        batch = states.shape[0]
+                f"state length {host_states.shape[1]} does not match {n} qubits")
+        batch = host_states.shape[0]
+        states = self.xm.asarray(host_states, dtype=self.policy.complex)
         params, params_batched = self._normalise_params(circuit, batch, params)
         telemetry = self._telemetry
         if telemetry.enabled:
             telemetry.counter("backend.einsum.run_batched.calls").inc()
             telemetry.counter("backend.einsum.run_batched.samples").inc(batch)
             telemetry.gauge("backend.einsum.last_batch_size").set(batch)
-        tensor = states.reshape((batch,) + (2,) * n)
+        tensor = self.xm.reshape(states, (batch,) + (2,) * n)
         if return_intermediate:
             # Batched adjoint path: the gradient sweep needs the state stack
             # before every op, so fusion is disabled and each op is applied
-            # individually (still one whole-batch contraction per op).
+            # individually (still one whole-batch contraction per op).  The
+            # intermediates cross the engine boundary as host arrays, which
+            # is the contract the adjoint sweep relies on.
             with telemetry.span("einsum.run_batched"):
                 intermediates: List[np.ndarray] = []
                 for op in circuit.ops:
-                    intermediates.append(tensor.reshape(batch, -1))
+                    intermediates.append(
+                        self.xm.to_numpy(self.xm.reshape(tensor, (batch, -1))))
                     matrix, batched = self._op_matrix(op, params,
                                                       params_batched)
                     tensor = self._apply_batched(tensor, matrix, op.qubits, n,
                                                  batched)
-                return (np.ascontiguousarray(tensor.reshape(batch, -1)),
-                        intermediates)
+                out = self.xm.to_numpy(self.xm.reshape(tensor, (batch, -1)))
+                return np.ascontiguousarray(out), intermediates
         with telemetry.span("einsum.run_batched"):
             for matrix, targets, batched in self._gate_stream(circuit, params,
                                                               params_batched):
                 tensor = self._apply_batched(tensor, matrix, targets, n,
                                              batched)
-            return np.ascontiguousarray(tensor.reshape(batch, -1))
+            out = self.xm.to_numpy(self.xm.reshape(tensor, (batch, -1)))
+            return np.ascontiguousarray(out)
 
     def apply_gate_batched(self, states: np.ndarray, matrix: np.ndarray,
                            targets, n_qubits: int) -> np.ndarray:
         """Apply one gate matrix to the whole stack with one contraction."""
-        states = np.asarray(states, dtype=np.complex128)
-        if states.ndim != 2:
+        host_states = np.asarray(states)
+        if host_states.ndim != 2:
             raise ValueError("states must have shape (batch, 2**n_qubits)")
-        batch = states.shape[0]
-        tensor = states.reshape((batch,) + (2,) * n_qubits)
-        matrix = np.asarray(matrix, dtype=np.complex128)
+        batch = host_states.shape[0]
+        states = self.xm.asarray(host_states, dtype=self.policy.complex)
+        tensor = self.xm.reshape(states, (batch,) + (2,) * n_qubits)
+        matrix = self.xm.asarray(matrix, dtype=self.policy.complex)
         out = self._apply_batched(tensor, matrix, tuple(targets), n_qubits,
                                   False)
-        return out.reshape(batch, -1)
+        return self.xm.to_numpy(self.xm.reshape(out, (batch, -1)))
 
     def run(self, circuit: "ParameterizedCircuit", state: np.ndarray,
             params: Optional[np.ndarray] = None,
@@ -275,14 +296,15 @@ class EinsumBatchBackend(SimulationBackend):
             params = params.reshape(-1)
         n = circuit.n_qubits
         intermediates: List[np.ndarray] = []
-        current = state
+        current = self.xm.asarray(state, dtype=self.policy.complex)
         for op in circuit.ops:
-            intermediates.append(current)
+            intermediates.append(self.xm.to_numpy(current))
             matrix, _ = self._op_matrix(op, params, False)
-            tensor = current.reshape((1,) + (2,) * n)
-            current = self._apply_batched(tensor, matrix, op.qubits, n,
-                                          False).reshape(-1)
-        return current, intermediates
+            tensor = self.xm.reshape(current, (1,) + (2,) * n)
+            current = self.xm.reshape(
+                self._apply_batched(tensor, matrix, op.qubits, n, False),
+                (-1,))
+        return self.xm.to_numpy(current), intermediates
 
     def _normalise_params(self, circuit: "ParameterizedCircuit", batch: int,
                           params: Optional[np.ndarray]
@@ -290,7 +312,7 @@ class EinsumBatchBackend(SimulationBackend):
         """Validate params and report whether they vary across the batch."""
         if params is None or np.ndim(params) <= 1:
             return self.validate_params(circuit, params), False
-        params = np.asarray(params, dtype=np.float64)
+        params = np.asarray(params, dtype=self.policy.accum_real)
         if params.ndim == 2:
             if params.shape[1] != circuit.n_params:
                 raise ValueError(

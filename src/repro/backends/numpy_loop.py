@@ -48,7 +48,8 @@ class NumpyLoopBackend(SimulationBackend):
             if return_intermediate:
                 intermediates.append(current)
             matrix = circuit.op_matrix(op, params)
-            current = apply_matrix(current, matrix, op.qubits, circuit.n_qubits)
+            current = apply_matrix(current, matrix, op.qubits, circuit.n_qubits,
+                                   dtype=self.policy.complex)
         if return_intermediate:
             return current, intermediates
         return current

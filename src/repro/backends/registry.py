@@ -17,13 +17,13 @@ gate tensors and einsum subscripts).
 
 from __future__ import annotations
 
-import os
 from typing import Callable, Dict, List, Union
 
 from repro.backends.base import SimulationBackend
+from repro.utils import env
 
 #: Environment variable consulted when no explicit backend is requested.
-BACKEND_ENV_VAR = "QUGEO_BACKEND"
+BACKEND_ENV_VAR = env.BACKEND
 
 _FACTORIES: Dict[str, Callable[[], SimulationBackend]] = {}
 _INSTANCES: Dict[str, SimulationBackend] = {}
@@ -93,7 +93,7 @@ def available_backends() -> List[str]:
 
 def default_backend_name() -> str:
     """The name :func:`get_backend` resolves when given ``None``."""
-    return os.environ.get(BACKEND_ENV_VAR) or _DEFAULT_NAME
+    return env.get_str(env.BACKEND, _DEFAULT_NAME)
 
 
 def set_default_backend(name: str) -> None:

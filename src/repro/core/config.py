@@ -172,6 +172,11 @@ class TrainingConfig:
     ``eval_batch_size`` bounds how many samples run through the model at
     once during test-set evaluation (peak-memory control for large test
     sets); ``None`` evaluates in a single pass.
+
+    ``dtype`` names the compute precision policy (a key accepted by
+    :func:`repro.xm.get_dtype_policy`, e.g. ``"float64"`` or ``"float32"``);
+    ``None`` defers to the ``QUGEO_DTYPE`` environment variable and then the
+    process default (float64).
     """
 
     epochs: int = 500
@@ -182,8 +187,17 @@ class TrainingConfig:
     verbose: bool = False
     eval_every: int = 10
     eval_batch_size: Optional[int] = 256
+    dtype: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.dtype is not None:
+            if not isinstance(self.dtype, str):
+                raise ValueError("dtype must be None or a policy name string")
+            from repro.xm import available_policies
+            if self.dtype not in available_policies():
+                raise ValueError(
+                    f"unknown dtype policy '{self.dtype}'; "
+                    f"choose from {available_policies()}")
         if self.epochs <= 0:
             raise ValueError("epochs must be positive")
         if self.learning_rate <= 0:

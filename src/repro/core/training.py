@@ -62,6 +62,7 @@ from repro.telemetry import get_telemetry
 from repro.utils.logging import RunLogger
 from repro.utils.rng import ensure_rng
 from repro.utils.serialization import load_checkpoint, save_checkpoint
+from repro.xm import DTypePolicy, get_dtype_policy
 
 # Version 2: dataset fingerprints are computed from per-sample content sums
 # (shared with repro.data.store.content_fingerprint) instead of full-array
@@ -390,6 +391,9 @@ class TrainerState:
     scheduler: CosineAnnealingLR
     rng: np.random.Generator
     logger: RunLogger
+    #: Compute-precision policy resolved from ``config.dtype`` (or the
+    #: ``QUGEO_DTYPE`` environment variable when the config leaves it unset).
+    policy: Optional[DTypePolicy] = None
     #: Data sources (``ArrayDataSource`` or a streaming ShardLoader).
     train_source: object = None
     test_source: Optional[object] = None
@@ -740,6 +744,10 @@ class Trainer:
                  strategy: Optional[StepStrategy] = None) -> None:
         self.config = config or TrainingConfig()
         self.strategy = strategy
+        # config.dtype = None defers to QUGEO_DTYPE and then float64, so the
+        # default path is unchanged; the resolved policy is recorded here and
+        # handed to callbacks/strategies through TrainerState.policy.
+        self.policy = get_dtype_policy(self.config.dtype)
 
     def train(self, model: Model,
               train_dataset: FWIDataset,
@@ -803,6 +811,7 @@ class Trainer:
         state = TrainerState(trainer=self, config=config, model=model,
                              strategy=strategy, optimizer=optimizer,
                              scheduler=scheduler, rng=rng, logger=logger,
+                             policy=self.policy,
                              train_source=train_source,
                              test_source=test_source, callbacks=callbacks,
                              train_fingerprint=_dataset_fingerprint(train_source),
@@ -944,6 +953,9 @@ class Trainer:
         # and unchunked evaluation agree), so both may differ.
         saved_config = dict(payload.get("config", {}))
         current_config = dataclasses.asdict(state.config)
+        # Checkpoints written before the dtype field existed mean float64,
+        # which is exactly what dtype=None resolves to.
+        saved_config.setdefault("dtype", None)
         for neutral in ("verbose", "eval_batch_size"):
             saved_config.pop(neutral, None)
             current_config.pop(neutral, None)

@@ -16,18 +16,23 @@ from repro.nn.tensor import Tensor
 
 
 def _copy_arrays(arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
-    return [np.asarray(array, dtype=np.float64).copy() for array in arrays]
+    return [np.asarray(array).copy() for array in arrays]
 
 
 def _load_arrays(target: List[np.ndarray],
                  arrays: Sequence[np.ndarray], name: str) -> None:
-    """Replace ``target``'s buffers with copies of ``arrays``, validating shapes."""
+    """Replace ``target``'s buffers with copies of ``arrays``, validating shapes.
+
+    Loaded values are cast to each buffer's own dtype, so restoring a
+    float64 checkpoint into a float32 run (or vice versa) lands at the
+    optimiser's working precision instead of silently changing it.
+    """
     if len(arrays) != len(target):
         raise ValueError(f"{name} count mismatch: "
                          f"{len(arrays)} vs {len(target)}")
     loaded = []
     for current, value in zip(target, arrays):
-        value = np.asarray(value, dtype=np.float64)
+        value = np.asarray(value, dtype=current.dtype)
         if value.shape != current.shape:
             raise ValueError(f"{name} shape mismatch: "
                              f"{value.shape} vs {current.shape}")
@@ -73,7 +78,9 @@ class SGD(Optimizer):
             raise ValueError("momentum must be in [0, 1)")
         self.momentum = momentum
         self.weight_decay = weight_decay
-        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        # Velocity accumulates in float64 whatever the parameter precision.
+        self._velocity = [np.zeros(p.data.shape, dtype=np.float64)
+                          for p in self.parameters]
 
     def step(self) -> None:
         """Apply one SGD update using the accumulated gradients."""
@@ -89,7 +96,11 @@ class SGD(Optimizer):
                 update = velocity
             else:
                 update = grad
-            param.data = param.data - self.lr * update
+            # The update is computed in float64 (gradients and moments are
+            # accumulation-precision) and cast back to the parameter dtype.
+            dtype = param.data.dtype
+            param.data = (param.data - self.lr * update).astype(dtype,
+                                                                copy=False)
 
     def state_dict(self) -> Dict[str, object]:
         state = super().state_dict()
@@ -116,8 +127,11 @@ class Adam(Optimizer):
         self.eps = eps
         self.weight_decay = weight_decay
         self._step_count = 0
-        self._m = [np.zeros_like(p.data) for p in self.parameters]
-        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        # Moments accumulate in float64 whatever the parameter precision.
+        self._m = [np.zeros(p.data.shape, dtype=np.float64)
+                   for p in self.parameters]
+        self._v = [np.zeros(p.data.shape, dtype=np.float64)
+                   for p in self.parameters]
 
     def step(self) -> None:
         """Apply one Adam update using the accumulated gradients."""
@@ -136,7 +150,10 @@ class Adam(Optimizer):
             v += (1.0 - self.beta2) * grad * grad
             m_hat = m / bias1
             v_hat = v / bias2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            dtype = param.data.dtype
+            param.data = (param.data
+                          - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+                          ).astype(dtype, copy=False)
 
     def state_dict(self) -> Dict[str, object]:
         state = super().state_dict()

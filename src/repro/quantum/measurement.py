@@ -30,6 +30,8 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro.xm import ensure_complex
+
 
 def _bit_signs(n_qubits: int, qubit: int) -> np.ndarray:
     """Return +-1 for each basis index depending on the value of ``qubit``.
@@ -43,17 +45,20 @@ def _bit_signs(n_qubits: int, qubit: int) -> np.ndarray:
 
 
 @lru_cache(maxsize=None)
-def _sign_matrix(n_qubits: int, qubits: Tuple[int, ...]) -> np.ndarray:
+def _sign_matrix(n_qubits: int, qubits: Tuple[int, ...],
+                 dtype: np.dtype = np.dtype(np.float64)) -> np.ndarray:
     """Memoised ``(len(qubits), 2**n)`` matrix of per-qubit basis signs.
 
     Row ``r`` is :func:`_bit_signs` of ``qubits[r]``, so Z expectations of
     every read-out qubit reduce to one matmul with the probability vector
-    instead of rebuilding the sign array per qubit per call.
+    instead of rebuilding the sign array per qubit per call.  ``dtype`` is
+    part of the memoisation key, so a float32 request can never be served a
+    float64 matrix (or vice versa) from an earlier call.
     """
     for qubit in qubits:
         if not 0 <= qubit < n_qubits:
             raise ValueError(f"qubit {qubit} outside register")
-    signs = np.empty((len(qubits), 2**n_qubits))
+    signs = np.empty((len(qubits), 2**n_qubits), dtype=dtype)
     for row, qubit in enumerate(qubits):
         signs[row] = _bit_signs(n_qubits, qubit)
     signs.setflags(write=False)
@@ -82,7 +87,10 @@ def _outcome_indices(n_qubits: int, qubits: Tuple[int, ...]) -> np.ndarray:
 
 
 def _validate_batched(states: np.ndarray, n_qubits: int) -> np.ndarray:
-    states = np.asarray(states, dtype=np.complex128)
+    # Complex stacks keep their precision (a complex64 batch from a float32
+    # engine is measured as complex64); real inputs are promoted to
+    # complex128 exactly as before.
+    states = ensure_complex(states)
     if states.ndim != 2 or states.shape[1] != 2**n_qubits:
         raise ValueError(
             f"states must have shape (batch, {2**n_qubits}), got {states.shape}")

@@ -24,12 +24,15 @@ import numpy as np
 try:  # SciPy is optional: the batched engine falls back to banded matmuls.
     from scipy.ndimage import correlate1d as _correlate1d
     from scipy.linalg.blas import daxpy as _daxpy
+    from scipy.linalg.blas import saxpy as _saxpy
 except ImportError:  # pragma: no cover - exercised via the fallback test
     _correlate1d = None
     _daxpy = None
+    _saxpy = None
 
 from repro.seismic.boundary import SpongeBoundary
 from repro.telemetry import get_telemetry
+from repro.xm import get_dtype_policy
 
 
 # Central finite-difference coefficients for the second derivative.
@@ -354,12 +357,19 @@ class BatchedAcousticSimulator2D:
     config:
         Discretisation parameters.  ``config.dt`` is checked against the CFL
         condition of the fastest cell across the whole batch.
+    policy:
+        Dtype policy (name, instance or ``None`` for the ambient
+        ``QUGEO_DTYPE`` / ``float64`` default).  The wavefield buffers,
+        stencil material and sponge mask are carried in ``policy.real``
+        (halving memory traffic under ``float32``); receiver gathers are
+        always accumulated in ``policy.accum_real`` (float64).
     """
 
     #: Instances accept a leading velocity-model batch axis.
     supports_model_batch = True
 
-    def __init__(self, velocity: np.ndarray, config: SimulationConfig = None) -> None:
+    def __init__(self, velocity: np.ndarray, config: SimulationConfig = None,
+                 policy=None) -> None:
         self.velocity = np.asarray(velocity, dtype=np.float64)
         if self.velocity.ndim not in (2, 3):
             raise ValueError(
@@ -370,19 +380,31 @@ class BatchedAcousticSimulator2D:
             raise ValueError("velocities must be strictly positive")
         self.config = config or SimulationConfig()
         self.config.validate_cfl(float(self.velocity.max()))
-        self._mask = self.config.boundary.build_mask(self.velocity.shape)
+        self.policy = get_dtype_policy(policy)
+        real = self.policy.real
+        self._mask = self.config.boundary.build_mask(
+            self.velocity.shape).astype(real, copy=False)
         self._telemetry = get_telemetry()
         coeffs = _LAPLACIAN_COEFFS[self.config.spatial_order]
         nz, nx = self.grid_shape
-        self._coeffs_z = coeffs / self.config.dz**2
-        self._coeffs_x = coeffs / self.config.dx**2
-        self._use_ndimage = _correlate1d is not None
+        self._coeffs_z = (coeffs / self.config.dz**2).astype(real, copy=False)
+        self._coeffs_x = (coeffs / self.config.dx**2).astype(real, copy=False)
+        # ndimage.correlate1d accumulates in double precision internally, so
+        # under float32 it saves nothing; the BLAS matmul path (sgemm) runs
+        # ~2x faster at reduced precision and holds the same stencil, so the
+        # float32 policy prefers it even when SciPy is present.
+        self._use_ndimage = (_correlate1d is not None
+                             and real == np.dtype(np.float64))
         if self._use_ndimage:
             self._dz_op = self._dx_op_t = None
         else:
-            # Dense fallback operators, only needed without SciPy.
-            self._dz_op = _stencil_matrix(nz, coeffs) / self.config.dz**2
-            self._dx_op_t = (_stencil_matrix(nx, coeffs) / self.config.dx**2).T
+            # Dense banded operators: the fallback without SciPy, and the
+            # primary engine at reduced precision.
+            self._dz_op = (_stencil_matrix(nz, coeffs)
+                           / self.config.dz**2).astype(real, copy=False)
+            self._dx_op_t = ((_stencil_matrix(nx, coeffs)
+                              / self.config.dx**2)
+                             .astype(real, copy=False).T)
 
     @property
     def grid_shape(self) -> Tuple[int, int]:
@@ -466,17 +488,32 @@ class BatchedAcousticSimulator2D:
         rec_flat = np.array([r * nx + c for r, c in receivers], dtype=np.intp)
 
         cell_area = self.config.dx * self.config.dz
+        real = self.policy.real
         if self.velocity.ndim == 2:
             batch_shape: Tuple[int, ...] = (n_shots,)
-            c2dt2 = dt2 * c2                              # (nz, nx)
+            c2dt2 = (dt2 * c2).astype(real, copy=False)   # (nz, nx)
             src_scale = c2[src_rows, src_cols] * dt2 / cell_area       # (S,)
         else:
             batch_shape = (self.velocity.shape[0], n_shots)
-            c2dt2 = dt2 * c2[:, None]                     # (M, 1, nz, nx)
+            c2dt2 = (dt2 * c2[:, None]).astype(real, copy=False)
             src_scale = c2[:, src_rows, src_cols] * dt2 / cell_area    # (M, S)
         # Injection amplitudes for every step, scaled once up front:
-        # (S, n_steps) or (M, S, n_steps).
-        scaled_wavelets = src_scale[..., None] * wavelets
+        # (S, n_steps) or (M, S, n_steps).  Scaling happens in float64 and
+        # only the result is cast, so the float32 path loses precision once
+        # rather than per factor.
+        scaled_wavelets = (src_scale[..., None] * wavelets).astype(
+            real, copy=False)
+        if real != np.dtype(np.float64):
+            # A band-limited wavelet's far skirt (the Ricker's Gaussian
+            # envelope) injects amplitudes tens of orders below the peak.
+            # At reduced precision those seeds underflow into subnormals as
+            # they spread, and subnormal microcode assists then dominate the
+            # time loop.  Amplitudes below eps^2 of the per-shot peak are far
+            # outside measurable range, so flush them to exact zeros.
+            scaled_wavelets = scaled_wavelets.copy()
+            peak = np.abs(scaled_wavelets).max(axis=-1, keepdims=True)
+            cutoff = (np.finfo(real).eps ** 2) * peak
+            scaled_wavelets[np.abs(scaled_wavelets) < cutoff] = 0.0
 
         # Three rotating wavefield buffers plus two scratch arrays: every
         # whole-batch operation of the time loop writes into preallocated
@@ -484,7 +521,7 @@ class BatchedAcousticSimulator2D:
         # with no allocations.  Injection and trace recording run on
         # flattened ``(total_batch, nz*nx)`` views — single-axis fancy
         # indexing is measurably cheaper per step than an N-d index tuple.
-        p_prev = np.zeros(batch_shape + (nz, nx), dtype=np.float64)
+        p_prev = np.zeros(batch_shape + (nz, nx), dtype=real)
         p_curr = np.zeros_like(p_prev)
         p_next = np.zeros_like(p_prev)
         # Scratch buffers are fully overwritten before first read.
@@ -497,18 +534,40 @@ class BatchedAcousticSimulator2D:
 
         total_batch = int(np.prod(batch_shape))
         # Every (step, receiver) entry is assigned exactly once in the loop.
+        # Gathers accumulate in float64 under every policy: recorded traces
+        # are the caller-facing result, and keeping them at accumulation
+        # precision costs nothing on the per-step hot path.
         gather = np.empty(batch_shape + (n_steps, len(receivers)),
-                          dtype=np.float64)
+                          dtype=self.policy.accum_real)
         gather_flat = gather.reshape(total_batch, n_steps, len(receivers))
         inject_rows = np.arange(total_batch)
         inject_cols = np.tile(src_flat, total_batch // n_shots)
         inject_amps = scaled_wavelets.reshape(total_batch, n_steps)
         snapshots: List[np.ndarray] = []
 
-        # Hoist per-step lookups out of the hot loop.
+        # Hoist per-step lookups out of the hot loop.  BLAS axpy is picked to
+        # match the buffer precision (daxpy for float64, saxpy for float32);
+        # other precisions fall back to the three-pass in-place update.
         mask = self._mask
-        use_axpy = _daxpy is not None
+        if real == np.dtype(np.float64):
+            axpy = _daxpy
+        elif real == np.dtype(np.float32):
+            axpy = _saxpy
+        else:  # pragma: no cover - no such policy today
+            axpy = None
+        use_axpy = axpy is not None
         laplacian_into = self._laplacian_into
+
+        # The causal edge of the discrete wavefront decays super-exponentially
+        # through every representable magnitude, so at reduced precision a
+        # band of cells is always sitting in subnormal range — and subnormal
+        # microcode assists would dominate the whole time loop.  Periodically
+        # flushing magnitudes below ~1e-24 (fifteen orders under any signal
+        # the float32 gather could resolve) to exact zero keeps that band
+        # empty at a cost of two vectorised passes every 16 steps.
+        flush_tiny = real != np.dtype(np.float64)
+        if flush_tiny:
+            flush_cutoff = np.finfo(real).tiny / np.finfo(real).eps ** 2
 
         # Per-phase profiling accumulates into plain local floats and is
         # flushed to the registry once after the loop; when telemetry is off
@@ -531,8 +590,8 @@ class BatchedAcousticSimulator2D:
                 # One fused pass per term (y += a*x); 2*p is bit-identical
                 # to p + p, so this only reorders the summation.
                 next_line = line_views[id(p_next)]
-                _daxpy(line_views[id(p_prev)], next_line, a=-1.0)
-                _daxpy(line_views[id(p_curr)], next_line, a=2.0)
+                axpy(line_views[id(p_prev)], next_line, a=-1.0)
+                axpy(line_views[id(p_curr)], next_line, a=2.0)
             else:
                 p_next -= p_prev
                 p_next += p_curr
@@ -559,6 +618,10 @@ class BatchedAcousticSimulator2D:
                 snapshots.append(p_next.copy())
             if timing:
                 t_record += perf_counter() - t4
+
+            if flush_tiny and step % 16 == 15:
+                np.copyto(p_next, 0.0, where=np.abs(p_next) < flush_cutoff)
+                np.copyto(p_curr, 0.0, where=np.abs(p_curr) < flush_cutoff)
 
             p_prev, p_curr, p_next = p_curr, p_next, p_prev
 

@@ -20,16 +20,16 @@ Resolution order for the default engine:
 
 from __future__ import annotations
 
-import os
 from typing import Callable, Dict, List, Union
 
 from repro.seismic.acoustic2d import (
     AcousticSimulator2D,
     BatchedAcousticSimulator2D,
 )
+from repro.utils import env
 
 #: Environment variable consulted when no explicit propagator is requested.
-PROPAGATOR_ENV_VAR = "QUGEO_PROPAGATOR"
+PROPAGATOR_ENV_VAR = env.PROPAGATOR
 
 PropagatorFactory = Callable[..., object]
 PropagatorSpec = Union[None, str, PropagatorFactory]
@@ -96,7 +96,7 @@ def available_propagators() -> List[str]:
 
 def default_propagator_name() -> str:
     """The name :func:`get_propagator` resolves when given ``None``."""
-    return os.environ.get(PROPAGATOR_ENV_VAR) or _DEFAULT_NAME
+    return env.get_str(env.PROPAGATOR, _DEFAULT_NAME)
 
 
 def set_default_propagator(name: str) -> None:

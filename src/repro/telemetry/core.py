@@ -36,13 +36,14 @@ data, core, benchmarks — can instrument itself without import cycles.
 from __future__ import annotations
 
 import json
-import os
 import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Union
 
-ENV_VAR = "QUGEO_TELEMETRY"
+from repro.utils import env
+
+ENV_VAR = env.TELEMETRY
 
 MODES = ("off", "summary", "trace")
 
@@ -60,7 +61,7 @@ MAX_TRACE_EVENTS = 200_000
 def _resolve_mode(mode: Optional[str]) -> str:
     """Normalise an explicit mode or the ``QUGEO_TELEMETRY`` value."""
     if mode is None:
-        mode = os.environ.get(ENV_VAR, "off")
+        mode = env.get_str(ENV_VAR, "off")
     resolved = _MODE_ALIASES.get(str(mode).strip().lower())
     if resolved is None:
         raise ValueError(

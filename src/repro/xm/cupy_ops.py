@@ -1,0 +1,77 @@
+"""CuPy implementation of :class:`~repro.xm.ops.ArrayOps`.
+
+Import-guarded like the torch module: constructing :class:`CupyOps` raises
+:class:`~repro.xm.ops.ArrayModuleUnavailableError` when ``cupy`` is not
+installed.  CuPy mirrors the NumPy API closely enough that only the
+construction / transfer methods need overriding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.xm.ops import ArrayModuleUnavailableError, ArrayOps
+
+try:  # pragma: no cover - exercised only where cupy is installed
+    import cupy
+except ImportError:  # pragma: no cover
+    cupy = None
+
+
+class CupyOps(ArrayOps):
+    """ArrayOps over ``cupy.ndarray`` (CUDA device arrays)."""
+
+    name = "cupy"
+    supports_einsum_path = False
+    device = "cuda"
+
+    def __init__(self):
+        if cupy is None:
+            raise ArrayModuleUnavailableError("cupy", "cupy")
+
+    def asarray(self, array, dtype=None):
+        return cupy.asarray(array, dtype=dtype)
+
+    def ascontiguous(self, array):
+        return cupy.ascontiguousarray(array)
+
+    def zeros(self, shape, dtype):
+        return cupy.zeros(shape, dtype=dtype)
+
+    def empty(self, shape, dtype):
+        return cupy.empty(shape, dtype=dtype)
+
+    def zeros_like(self, array):
+        return cupy.zeros_like(array)
+
+    def empty_like(self, array):
+        return cupy.empty_like(array)
+
+    def stack(self, arrays):
+        return cupy.stack([cupy.asarray(a) for a in arrays])
+
+    def to_numpy(self, array) -> np.ndarray:
+        if isinstance(array, cupy.ndarray):
+            return cupy.asnumpy(array)
+        return np.asarray(array)
+
+    def einsum(self, subscripts, *operands):
+        return cupy.einsum(subscripts, *operands)
+
+    def matmul(self, a, b, out=None):
+        return cupy.matmul(a, b, out=out)
+
+    def multiply(self, a, b, out=None):
+        return cupy.multiply(a, b, out=out)
+
+    def conj(self, array):
+        return cupy.conj(array)
+
+    def abs2(self, array):
+        return cupy.abs(array) ** 2
+
+    def size(self, array) -> int:
+        return int(array.size)
+
+    def synchronize(self) -> None:
+        cupy.cuda.get_current_stream().synchronize()

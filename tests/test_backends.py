@@ -379,6 +379,87 @@ def test_env_var_selects_default(monkeypatch):
 
 
 # --------------------------------------------------------------------------- #
+# array-module engines (torch / cupy) — exercised only where the package
+# (and for cupy, a GPU) is present; the registration itself is always tested.
+# --------------------------------------------------------------------------- #
+ARRAY_MODULE_ENGINES = ("torch", "cupy")
+
+
+def _engine_or_skip(name):
+    from repro.xm import array_module_available
+
+    if not array_module_available(name):
+        pytest.skip(f"array module {name!r} is not available here")
+    return get_backend(name)
+
+
+@pytest.mark.parametrize("engine", ARRAY_MODULE_ENGINES)
+def test_array_module_engines_registered_and_guarded(engine):
+    assert engine in available_backends()
+    from repro.xm import array_module_available
+
+    if array_module_available(engine):
+        backend = get_backend(engine)
+        assert backend.name == engine
+        assert backend.xm.name == engine
+    else:
+        # The name resolves, but building the engine reports the missing
+        # package instead of crashing deep inside the math.
+        with pytest.raises(ImportError, match=engine):
+            get_backend(engine)
+
+
+@pytest.mark.parametrize("engine", ARRAY_MODULE_ENGINES)
+@pytest.mark.parametrize("n_qubits", [1, 3, 5])
+def test_array_module_single_state_parity(engine, n_qubits, loop):
+    backend = _engine_or_skip(engine)
+    rng = np.random.default_rng(400 + n_qubits)
+    for _ in range(2):
+        circuit = random_circuit(n_qubits, n_ops=15, rng=rng)
+        params = rng.normal(size=circuit.n_params)
+        state = random_states(n_qubits, 1, rng)[0]
+        expected = loop.run(circuit, state, params)
+        actual = backend.run(circuit, state, params)
+        assert isinstance(actual, np.ndarray)
+        np.testing.assert_allclose(actual, expected, atol=ATOL)
+
+
+@pytest.mark.parametrize("engine", ARRAY_MODULE_ENGINES)
+@pytest.mark.parametrize("n_qubits,batch", [(2, 4), (4, 6)])
+def test_array_module_batched_parity(engine, n_qubits, batch, loop):
+    backend = _engine_or_skip(engine)
+    rng = np.random.default_rng(500 + 10 * n_qubits + batch)
+    circuit = random_circuit(n_qubits, n_ops=12, rng=rng)
+    states = random_states(n_qubits, batch, rng)
+    params = rng.normal(size=circuit.n_params)
+    np.testing.assert_allclose(backend.run_batched(circuit, states, params),
+                               loop.run_batched(circuit, states, params),
+                               atol=ATOL)
+    param_matrix = rng.normal(size=(batch, circuit.n_params))
+    expected = np.stack([loop.run(circuit, state, row)
+                         for state, row in zip(states, param_matrix)])
+    np.testing.assert_allclose(
+        backend.run_batched(circuit, states, param_matrix), expected,
+        atol=ATOL)
+
+
+@pytest.mark.parametrize("engine", ARRAY_MODULE_ENGINES)
+def test_array_module_adjoint_gradient_parity(engine):
+    backend = _engine_or_skip(engine)
+    rng = np.random.default_rng(600)
+    circuit = random_circuit(4, n_ops=10, rng=rng)
+    params = rng.normal(size=circuit.n_params)
+    state = random_states(4, 1, rng)[0]
+    loss_head = _z0_loss_head(4)
+    loss_a, grads_a = circuit_gradients(circuit, params, state, loss_head,
+                                        backend="numpy")
+    loss_b, grads_b = circuit_gradients(circuit, params, state, loss_head,
+                                        backend=backend)
+    assert abs(loss_a - loss_b) < ATOL
+    np.testing.assert_allclose(grads_b, grads_a, atol=ATOL)
+
+
+# --------------------------------------------------------------------------- #
 # model plumbing
 # --------------------------------------------------------------------------- #
 def _small_config(**kwargs) -> QuGeoVQCConfig:
