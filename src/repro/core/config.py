@@ -177,6 +177,11 @@ class TrainingConfig:
     :func:`repro.xm.get_dtype_policy`, e.g. ``"float64"`` or ``"float32"``);
     ``None`` defers to the ``QUGEO_DTYPE`` environment variable and then the
     process default (float64).
+
+    ``nan_policy`` decides what a non-finite mini-batch loss does:
+    ``"stop"`` (default) halts the run before the poisoned optimiser update
+    is applied and records a ``nan_loss`` flag in the metric history;
+    ``"raise"`` raises :class:`FloatingPointError` instead.
     """
 
     epochs: int = 500
@@ -188,6 +193,7 @@ class TrainingConfig:
     eval_every: int = 10
     eval_batch_size: Optional[int] = 256
     dtype: Optional[str] = None
+    nan_policy: str = "stop"
 
     def __post_init__(self) -> None:
         if self.dtype is not None:
@@ -208,6 +214,8 @@ class TrainingConfig:
             raise ValueError("eval_every must be positive")
         if self.eval_batch_size is not None and self.eval_batch_size <= 0:
             raise ValueError("eval_batch_size must be positive or None")
+        if self.nan_policy not in ("stop", "raise"):
+            raise ValueError("nan_policy must be 'stop' or 'raise'")
 
 
 @dataclass

@@ -133,9 +133,26 @@ class QuBatchVQC:
 
     def _decode_blocks(self, state: np.ndarray, n_samples: int) -> np.ndarray:
         """Decode per-sample velocity maps from the batched output state."""
-        depth, width = self.config.output_shape
         blocks = self._block_view(state)
-        block_probs = np.abs(blocks) ** 2
+        return self.decode_block_probabilities(np.abs(blocks) ** 2, n_samples)
+
+    def decode_block_probabilities(self, block_probs: np.ndarray,
+                                   n_samples: int) -> np.ndarray:
+        """Decode velocity maps from per-block probability rows.
+
+        ``block_probs`` is the ``(batch_capacity, 2**qubits_per_group)``
+        matrix of basis-state probabilities, exact or shot-noise estimated —
+        the finite-shot readout policy in :mod:`repro.robustness` reshapes a
+        sampled full-register probability vector into blocks and decodes it
+        here, so ideal and sampled QuBatch prediction share one decoder.
+        Each block is normalised by its own total probability, which is what
+        makes the conditional decode work on unnormalised sampled blocks too.
+        """
+        depth, width = self.config.output_shape
+        block_probs = np.asarray(block_probs, dtype=np.float64)
+        if block_probs.shape != (self.batch_capacity,
+                                 2**self.config.qubits_per_group):
+            raise ValueError("block_probs shape does not match the register")
         predictions = np.zeros((n_samples, depth, width))
         readout_local = self._local_readout_indices()
         for b in range(n_samples):

@@ -34,6 +34,7 @@ remain as backwards-compatible aliases of the one engine.
 from __future__ import annotations
 
 import dataclasses
+import os
 import sys
 import warnings
 from dataclasses import dataclass, field
@@ -61,7 +62,11 @@ from repro.nn import Adam, CosineAnnealingLR, MSELoss, Tensor
 from repro.telemetry import get_telemetry
 from repro.utils.logging import RunLogger
 from repro.utils.rng import ensure_rng
-from repro.utils.serialization import load_checkpoint, save_checkpoint
+from repro.utils.serialization import (
+    BACKUP_SUFFIX,
+    resolve_checkpoint,
+    save_checkpoint,
+)
 from repro.xm import DTypePolicy, get_dtype_policy
 
 # Version 2: dataset fingerprints are computed from per-sample content sums
@@ -710,6 +715,12 @@ class Checkpoint(Callback):
         self.save_on_train_end = save_on_train_end
 
     def _save(self, state: TrainerState) -> None:
+        # Rotate the previous checkpoint to ``.bak`` before overwriting, so
+        # a corrupted primary (torn copy, flipped bits after the atomic
+        # write) still leaves a last-good snapshot for resume_from to fall
+        # back to.
+        if os.path.exists(self.path):
+            os.replace(self.path, str(self.path) + BACKUP_SUFFIX)
         save_checkpoint(self.path, state.trainer.capture_state(state))
 
     def on_epoch_logged(self, state: TrainerState) -> None:
@@ -824,7 +835,9 @@ class Trainer:
 
         start_epoch = 0
         if resume_from is not None:
-            start_epoch = self._restore(state, resume_from)
+            payload = self._resolve_resume(resume_from, telemetry)
+            if payload is not None:
+                start_epoch = self._restore(state, payload)
 
         n_samples = len(train_source)
         batch_size = strategy.batch_size(model, config)
@@ -846,19 +859,41 @@ class Trainer:
             order = rng.permutation(n_samples)
             epoch_loss = 0.0
             n_batches = 0
+            nan_batch_loss: Optional[float] = None
             with telemetry.span("trainer.epoch"):
                 for start in range(0, n_samples, batch_size):
                     with telemetry.span("step"):
                         batch_seismic, batch_velocity = train_source.gather(
                             order[start:start + batch_size])
                         optimizer.zero_grad()
-                        epoch_loss += strategy.step(model, batch_seismic,
-                                                    batch_velocity)
+                        batch_loss = strategy.step(model, batch_seismic,
+                                                   batch_velocity)
+                        if not np.isfinite(batch_loss):
+                            # Halt before the poisoned update is applied —
+                            # the model's weights are still the last finite
+                            # iterate.  "raise" surfaces the batch; "stop"
+                            # ends the run with a nan_loss flag in history.
+                            telemetry.counter("trainer.nan_loss").inc()
+                            if config.nan_policy == "raise":
+                                raise FloatingPointError(
+                                    f"non-finite loss {batch_loss!r} in "
+                                    f"epoch {epoch} (batch at sample "
+                                    f"{start})")
+                            nan_batch_loss = float(batch_loss)
+                            state.stop_training = True
+                            state.stop_reason = (
+                                f"non-finite loss {batch_loss!r} in epoch "
+                                f"{epoch}; optimiser update skipped")
+                            break
+                        epoch_loss += batch_loss
                         optimizer.step()
                     n_batches += 1
                 scheduler.step()
-                state.metrics = {"train_loss": epoch_loss / max(1, n_batches),
-                                 "lr": epoch_lr}
+                train_loss = (epoch_loss / max(1, n_batches)
+                              if nan_batch_loss is None else nan_batch_loss)
+                state.metrics = {"train_loss": train_loss, "lr": epoch_lr}
+                if nan_batch_loss is not None:
+                    state.metrics["nan_loss"] = 1.0
                 for callback in callbacks:
                     callback.on_epoch_end(state)
             logger.log(epoch, **state.metrics)
@@ -913,6 +948,36 @@ class Trainer:
     # ------------------------------------------------------------------ #
     # checkpoint capture / restore
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _resolve_resume(resume_from: Union[str, Dict[str, object]],
+                        telemetry) -> Optional[Dict[str, object]]:
+        """Load the resume checkpoint, falling back to last-good on damage.
+
+        An in-memory payload passes through.  A path is resolved through
+        :func:`repro.utils.serialization.resolve_checkpoint`: a corrupt or
+        truncated primary falls back to its ``.bak`` rotation with a warning
+        (and a ``trainer.checkpoint.fallback`` telemetry count); when no
+        candidate loads the run starts fresh with a warning
+        (``trainer.checkpoint.start_fresh``) instead of crashing — the
+        serving-system posture is "a damaged checkpoint costs retraining
+        time, never an outage".
+        """
+        if isinstance(resume_from, dict):
+            return resume_from
+        payload, loaded_path, problems = resolve_checkpoint(resume_from)
+        if payload is None:
+            telemetry.counter("trainer.checkpoint.start_fresh").inc()
+            warnings.warn(
+                "resume_from checkpoint unusable, starting fresh "
+                f"({'; '.join(problems)})", stacklevel=3)
+            return None
+        if loaded_path != str(resume_from):
+            telemetry.counter("trainer.checkpoint.fallback").inc()
+            warnings.warn(
+                f"resume_from checkpoint damaged, resuming from last-good "
+                f"{loaded_path} ({'; '.join(problems)})", stacklevel=3)
+        return payload
+
     def capture_state(self, state: TrainerState) -> Dict[str, object]:
         """Snapshot everything needed to continue the run bit-identically."""
         return {
@@ -936,9 +1001,7 @@ class Trainer:
 
     @staticmethod
     def _restore(state: TrainerState,
-                 resume_from: Union[str, Dict[str, object]]) -> int:
-        payload = (resume_from if isinstance(resume_from, dict)
-                   else load_checkpoint(resume_from))
+                 payload: Dict[str, object]) -> int:
         version = payload.get("version")
         if version != CHECKPOINT_VERSION:
             raise ValueError(f"unsupported checkpoint version {version!r}")
@@ -954,8 +1017,11 @@ class Trainer:
         saved_config = dict(payload.get("config", {}))
         current_config = dataclasses.asdict(state.config)
         # Checkpoints written before the dtype field existed mean float64,
-        # which is exactly what dtype=None resolves to.
+        # which is exactly what dtype=None resolves to; likewise pre-existing
+        # checkpoints predate the nan_policy field, whose default is "stop"
+        # (trajectory-identical on finite losses).
         saved_config.setdefault("dtype", None)
+        saved_config.setdefault("nan_policy", "stop")
         for neutral in ("verbose", "eval_batch_size"):
             saved_config.pop(neutral, None)
             current_config.pop(neutral, None)

@@ -39,12 +39,13 @@ from repro.quantum.autodiff import circuit_gradients_batched
 from repro.quantum.circuit import ParameterizedCircuit
 from repro.quantum.encoding import STEncoder
 from repro.quantum.measurement import (
-    marginal_probabilities,
+    all_probabilities,
     marginal_probabilities_backward_batched,
     marginal_probabilities_batched,
-    z_expectations,
+    marginal_probabilities_from_probabilities,
     z_expectations_backward_batched,
     z_expectations_batched,
+    z_expectations_from_probabilities,
 )
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -139,17 +140,34 @@ class QuGeoVQC:
         state = self.encode(seismic)
         return self.circuit.run(state, self.theta.data, backend=self.backend)
 
-    def decode(self, state: np.ndarray) -> np.ndarray:
-        """Map an output statevector to a normalised velocity map."""
+    def decode_probabilities(self, probs: np.ndarray) -> np.ndarray:
+        """Map a full-register probability vector to a velocity map.
+
+        The probabilities may be exact (``|psi|^2`` — the :meth:`decode`
+        path) or a shot-noise estimate from
+        :func:`repro.quantum.measurement.sampled_probabilities` — the
+        finite-shot readout policy in :mod:`repro.robustness` feeds estimated
+        probabilities through this same decoder so ideal and sampled
+        prediction differ only in the probability vector.
+        """
         depth, width = self.config.output_shape
         if self.config.decoder == "pixel":
-            probs = marginal_probabilities(state, self.readout_qubits, self.n_qubits)
-            amplitudes = np.sqrt(probs[:depth * width] + _EPS)
+            marginal = marginal_probabilities_from_probabilities(
+                probs, self.readout_qubits, self.n_qubits)
+            amplitudes = np.sqrt(marginal[:depth * width] + _EPS)
             scale = float(self.output_scale.data[0])
             return (scale * amplitudes).reshape(depth, width)
-        z = z_expectations(state, self.readout_qubits, self.n_qubits)
+        z = z_expectations_from_probabilities(probs, self.readout_qubits,
+                                              self.n_qubits)
         rows = (z + 1.0) / 2.0
         return np.repeat(rows[:, None], width, axis=1)
+
+    def decode(self, state: np.ndarray) -> np.ndarray:
+        """Map an output statevector to a normalised velocity map."""
+        state = np.asarray(state, dtype=np.complex128).reshape(-1)
+        if state.size != 2**self.n_qubits:
+            raise ValueError("state length does not match n_qubits")
+        return self.decode_probabilities(all_probabilities(state))
 
     def predict(self, seismic: np.ndarray) -> np.ndarray:
         """Predict the normalised velocity map of one scaled seismic sample."""

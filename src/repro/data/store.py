@@ -38,14 +38,17 @@ behaviour).
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
 import hashlib
 import json
 import multiprocessing
 import os
+import signal
 import tempfile
+import warnings
 from pathlib import Path
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -53,6 +56,7 @@ import numpy as np
 from repro.data.dataset import FWIDataset, FWISample
 from repro.data.openfwi import OpenFWIConfig, SyntheticOpenFWI, chunk_layout
 from repro.telemetry import get_telemetry
+from repro.utils import env as _env
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -62,6 +66,19 @@ PathLike = Union[str, "os.PathLike[str]"]
 DATA_FORMAT_VERSION = 1
 
 MANIFEST_NAME = "manifest.json"
+
+#: Subdirectory (inside an entry) that corrupt shards are moved into — kept
+#: for post-mortems instead of deleted, out of the way of the rebuild.
+QUARANTINE_DIR = "quarantine"
+
+
+class ShardIntegrityError(ValueError):
+    """A shard file is missing, truncated, or fails its checksum."""
+
+
+def _validation_enabled() -> bool:
+    """Shard checksum validation switch (``QUGEO_ROBUSTNESS_VALIDATE``)."""
+    return _env.get_flag(_env.ROBUSTNESS_VALIDATE, True)
 
 
 # --------------------------------------------------------------------------- #
@@ -136,6 +153,15 @@ def content_fingerprint(seismic_shape: Sequence[int],
 # --------------------------------------------------------------------------- #
 # atomic file helpers
 # --------------------------------------------------------------------------- #
+def _file_sha256(path: Path) -> str:
+    """Streaming SHA-256 of a file's bytes."""
+    digest = hashlib.sha256()
+    with open(str(path), "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
 def _atomic_replace(path: Path, write_fn) -> None:
     """Write through a temp file + rename so readers never see partial data."""
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -262,6 +288,10 @@ class DatasetStore:
             "file": path.name,
             "start": int(start),
             "count": int(seismic.shape[0]),
+            # Checksum of the on-disk bytes: a torn copy, bit rot, or a
+            # truncated file is caught by validate_entry before the shard
+            # is ever decompressed into training data.
+            "sha256": _file_sha256(path),
             "seismic_sums": [float(s) for s in
                              seismic.reshape(seismic.shape[0], -1).sum(axis=1)],
             "velocity_sums": [float(s) for s in
@@ -274,15 +304,105 @@ class DatasetStore:
     def read_shard(self, fingerprint: str,
                    chunk_index: int) -> Tuple[np.ndarray, np.ndarray]:
         telemetry = get_telemetry()
+        path = self.shard_path(fingerprint, chunk_index)
         with telemetry.span("store.read_shard"):
-            with np.load(str(self.shard_path(fingerprint,
-                                             chunk_index))) as data:
-                seismic, velocity = data["seismic"], data["velocity"]
+            try:
+                with np.load(str(path)) as data:
+                    seismic, velocity = data["seismic"], data["velocity"]
+            except (OSError, ValueError, EOFError, KeyError) as exc:
+                raise ShardIntegrityError(
+                    f"shard {path} is unreadable: {exc}") from exc
+            except Exception as exc:  # zipfile.BadZipFile and friends
+                if type(exc).__module__ != "zipfile":
+                    raise
+                raise ShardIntegrityError(
+                    f"shard {path} is corrupt: {exc}") from exc
         if telemetry.enabled:
             telemetry.counter("store.shard_reads").inc()
             telemetry.counter("store.bytes_decompressed").inc(
                 int(seismic.nbytes) + int(velocity.nbytes))
         return seismic, velocity
+
+    # -- integrity ------------------------------------------------------- #
+    def verify_shard(self, fingerprint: str, chunk_index: int,
+                     record: Dict[str, object]) -> Optional[str]:
+        """Check one shard against its manifest record.
+
+        Returns a problem description, or ``None`` when the shard is
+        healthy.  Records carrying a ``sha256`` are verified byte-exactly;
+        records written before checksums existed fall back to a
+        decompress-and-count check.
+        """
+        path = self.shard_path(fingerprint, chunk_index)
+        if not path.exists():
+            return "file missing"
+        expected = record.get("sha256")
+        if expected is not None:
+            actual = _file_sha256(path)
+            if actual != str(expected):
+                return (f"checksum mismatch (manifest {expected}, "
+                        f"file {actual})")
+            return None
+        try:
+            seismic, _ = self.read_shard(fingerprint, chunk_index)
+        except ShardIntegrityError as exc:
+            return str(exc)
+        if int(seismic.shape[0]) != int(record["count"]):
+            return (f"sample count mismatch (manifest {record['count']}, "
+                    f"file {seismic.shape[0]})")
+        return None
+
+    def quarantine_shard(self, fingerprint: str, chunk_index: int) -> None:
+        """Move a corrupt shard into the entry's quarantine directory."""
+        path = self.shard_path(fingerprint, chunk_index)
+        if not path.exists():
+            return
+        quarantine = self.entry_dir(fingerprint) / QUARANTINE_DIR
+        quarantine.mkdir(parents=True, exist_ok=True)
+        destination = quarantine / path.name
+        suffix = 0
+        while destination.exists():
+            suffix += 1
+            destination = quarantine / f"{path.name}.{suffix}"
+        os.replace(str(path), str(destination))
+        get_telemetry().counter("store.shard_quarantined").inc()
+
+    def validate_entry(self, fingerprint: str, repair: bool = True,
+                       manifest: Optional[Dict[str, object]] = None
+                       ) -> List[int]:
+        """Verify every registered shard of an entry; quarantine failures.
+
+        Returns the chunk indices that failed.  With ``repair=True`` (the
+        default) each failing shard is moved to quarantine, dropped from the
+        manifest, and the entry is marked incomplete — the normal resume
+        path of :func:`build_dataset` then regenerates exactly those chunks.
+        Passing the already-loaded ``manifest`` keeps the caller's dict in
+        sync with what lands on disk.
+        """
+        if manifest is None:
+            manifest = self.read_manifest(fingerprint)
+        if manifest is None:
+            return []
+        telemetry = get_telemetry()
+        bad: List[int] = []
+        with telemetry.span("store.validate"):
+            for key in sorted(manifest["shards"], key=int):
+                problem = self.verify_shard(fingerprint, int(key),
+                                            manifest["shards"][key])
+                if problem is not None:
+                    bad.append(int(key))
+                    telemetry.counter(
+                        "store.shard_validation_failures").inc()
+                    warnings.warn(
+                        f"store entry {fingerprint} shard {key}: {problem}",
+                        stacklevel=2)
+        if bad and repair:
+            for chunk in bad:
+                self.quarantine_shard(fingerprint, chunk)
+                manifest["shards"].pop(str(chunk), None)
+            manifest["complete"] = False
+            self.write_manifest(fingerprint, manifest)
+        return bad
 
     def finalize(self, fingerprint: str, manifest: Dict[str, object]) -> None:
         """Mark an entry complete once every chunk's shard is registered."""
@@ -503,6 +623,44 @@ class ShardLoader:
 # --------------------------------------------------------------------------- #
 # parallel generation
 # --------------------------------------------------------------------------- #
+def _maybe_inject_chaos(chunk_index: int) -> None:
+    """Honour the ``QUGEO_ROBUSTNESS_CHAOS`` fault-injection spec.
+
+    Spec format: ``<action>:<chunk>:<marker-path>`` where action is
+    ``kill-worker`` (SIGKILL the worker process building ``chunk``) or
+    ``raise-once`` (raise a RuntimeError from it).  The marker file is
+    created with exclusive semantics before the fault fires, so each spec
+    fires exactly once across pool respawns — the retried chunk then builds
+    cleanly.  Only ever fires inside a pool worker; serial in-process builds
+    ignore the spec rather than killing the caller.
+    """
+    spec = _env.get_str(_env.ROBUSTNESS_CHAOS)
+    if not spec:
+        return
+    parts = spec.split(":", 2)
+    if len(parts) != 3:
+        raise ValueError(
+            f"{_env.ROBUSTNESS_CHAOS} must be <action>:<chunk>:<marker>, "
+            f"got {spec!r}")
+    action, target, marker = parts
+    if action not in ("kill-worker", "raise-once"):
+        raise ValueError(
+            f"{_env.ROBUSTNESS_CHAOS} action must be kill-worker or "
+            f"raise-once, got {action!r}")
+    if int(target) != int(chunk_index):
+        return
+    if multiprocessing.parent_process() is None:
+        return
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return
+    os.close(fd)
+    if action == "kill-worker":
+        os.kill(os.getpid(), getattr(signal, "SIGKILL", signal.SIGTERM))
+    raise RuntimeError(f"chaos: injected failure in chunk {chunk_index}")
+
+
 def _generate_chunk(payload) -> Tuple[int, int, np.ndarray, np.ndarray]:
     """Worker entry point: build one chunk from ``(config, seed, job)``.
 
@@ -511,6 +669,7 @@ def _generate_chunk(payload) -> Tuple[int, int, np.ndarray, np.ndarray]:
     serial build bit-for-bit.
     """
     config, seed, chunk_index, start, count = payload
+    _maybe_inject_chaos(chunk_index)
     generator = SyntheticOpenFWI(config, rng=seed)
     velocities, seismic = generator.build_chunk(chunk_index, count)
     return chunk_index, start, velocities, seismic
@@ -548,31 +707,93 @@ class ParallelGenerator:
 
         Chunks complete out of order; callers that need sample order sort by
         ``start`` (the store keys shards by chunk index, so it does not care).
+
+        Fault tolerance: chunks run on a
+        :class:`concurrent.futures.ProcessPoolExecutor`, which (unlike
+        ``multiprocessing.Pool``) detects a worker that dies mid-task.  A
+        crashed worker breaks the pool; the pool is respawned and the
+        unfinished chunks resubmitted.  A chunk that *raises* is retried
+        individually.  Both budgets are ``QUGEO_ROBUSTNESS_MAX_RETRIES``
+        (default 2) with ``QUGEO_ROBUSTNESS_BACKOFF`` seconds between rounds
+        (doubled per respawn, capped at 10x).  Because every chunk is a pure
+        function of ``(config, seed, chunk_index)``, a retried chunk
+        reproduces exactly the bytes the crashed attempt would have written
+        — recovery never changes the dataset.
         """
-        payloads = [(self.config, self.seed, index, start, count)
-                    for index, start, count in jobs]
+        payloads = {int(index): (self.config, self.seed, index, start, count)
+                    for index, start, count in jobs}
         if not payloads:
             return
-        pool_size = self._pool_size(len(payloads))
+        total = len(payloads)
+        pool_size = self._pool_size(total)
         if pool_size == 1:
-            for done, payload in enumerate(payloads):
-                yield _generate_chunk(payload)
+            for done, chunk in enumerate(sorted(payloads)):
+                yield _generate_chunk(payloads[chunk])
                 if progress:
                     print(f"[ParallelGenerator] chunk {done + 1}/"
-                          f"{len(payloads)} done (serial)")
+                          f"{total} done (serial)")
             return
+        max_retries = _env.get_int(_env.ROBUSTNESS_MAX_RETRIES, 2, minimum=0)
+        backoff = _env.get_float(_env.ROBUSTNESS_BACKOFF, 0.1, minimum=0.0)
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context(
             "fork" if "fork" in methods else None)
-        with context.Pool(processes=pool_size) as pool:
-            done = 0
-            for result in pool.imap_unordered(_generate_chunk, payloads):
-                done += 1
-                if progress:
-                    print(f"[ParallelGenerator] chunk {done}/"
-                          f"{len(payloads)} done "
-                          f"({pool_size} workers)")
-                yield result
+        telemetry = get_telemetry()
+        pending = dict(payloads)
+        attempts: Dict[int, int] = {}
+        respawns = 0
+        done = 0
+        while pending:
+            executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(pool_size, len(pending)), mp_context=context)
+            futures = {executor.submit(_generate_chunk, payload): chunk
+                       for chunk, payload in pending.items()}
+            try:
+                for future in concurrent.futures.as_completed(futures):
+                    chunk = futures[future]
+                    try:
+                        result = future.result()
+                    except concurrent.futures.BrokenExecutor:
+                        raise
+                    except Exception as exc:
+                        # The chunk itself raised; the pool is still healthy.
+                        attempts[chunk] = attempts.get(chunk, 0) + 1
+                        telemetry.counter("store.datagen.chunk_retries").inc()
+                        if attempts[chunk] > max_retries:
+                            raise RuntimeError(
+                                f"chunk {chunk} failed {attempts[chunk]} "
+                                f"times, last error: {exc}") from exc
+                        warnings.warn(
+                            f"chunk {chunk} failed "
+                            f"(attempt {attempts[chunk]}/{max_retries}): "
+                            f"{exc}; retrying", stacklevel=2)
+                        continue
+                    pending.pop(chunk, None)
+                    done += 1
+                    if progress:
+                        print(f"[ParallelGenerator] chunk {done}/{total} "
+                              f"done ({pool_size} workers)")
+                    yield result
+            except concurrent.futures.BrokenExecutor:
+                # A worker died (OOM-kill, segfault, chaos injection): the
+                # whole pool is unusable.  Respawn and resubmit whatever has
+                # not completed — chunk-seeded determinism makes the retried
+                # work bit-identical.
+                respawns += 1
+                telemetry.counter("store.datagen.pool_respawns").inc()
+                if respawns > max_retries:
+                    raise RuntimeError(
+                        f"worker pool crashed {respawns} times; giving up "
+                        f"with chunks {sorted(pending)} unfinished")
+                warnings.warn(
+                    f"worker pool crashed (respawn "
+                    f"{respawns}/{max_retries}); resubmitting chunks "
+                    f"{sorted(pending)}", stacklevel=2)
+            finally:
+                executor.shutdown(wait=False, cancel_futures=True)
+            if pending:
+                sleep(min(backoff * (2 ** max(0, respawns - 1)),
+                          backoff * 10.0))
 
     def generate(self, count: Optional[int] = None,
                  progress: bool = False) -> FWIDataset:
@@ -616,6 +837,12 @@ def build_dataset(generator: SyntheticOpenFWI,
             fingerprint, n_samples=count, chunk_size=config.chunk_size,
             name=generator.dataset_name(), config=config,
             seed=generator.seed, metadata=metadata)
+        if manifest["shards"] and _validation_enabled():
+            # A resumed entry may hold a torn or truncated shard from an
+            # interrupted earlier build; quarantining it here shrinks the
+            # repair to exactly that chunk.
+            dataset_store.validate_entry(fingerprint, repair=True,
+                                         manifest=manifest)
         if manifest.get("complete"):
             return dataset_store.load(fingerprint, stream=stream)
         missing = [job for job in layout
@@ -676,7 +903,12 @@ def open_or_build(config: OpenFWIConfig, seed: int,
     store = _as_store(cache_dir)
     fingerprint = dataset_fingerprint(config, seed, n_samples=count)
     if store.is_complete(fingerprint):
-        return store.load(fingerprint, stream=stream)
+        # Validate-on-read: a complete entry whose shards fail their
+        # checksums is repaired (corrupt chunks quarantined) and falls
+        # through to the resume path below, which regenerates only them.
+        if (not _validation_enabled()
+                or not store.validate_entry(fingerprint, repair=True)):
+            return store.load(fingerprint, stream=stream)
     generator = SyntheticOpenFWI(config, rng=int(seed))
     return build_dataset(generator, count=count, store=store,
                          workers=workers, progress=progress, stream=stream)

@@ -234,6 +234,39 @@ def marginal_probabilities_backward_batched(states: np.ndarray,
     return grad_outputs[:, _outcome_indices(n_qubits, qubits)] * states
 
 
+def z_expectations_from_probabilities(probs: np.ndarray,
+                                      qubits: Sequence[int],
+                                      n_qubits: int) -> np.ndarray:
+    """Pauli-Z expectations computed from a full-register probability vector.
+
+    ``probs`` may be exact (``|psi|^2``) or a shot-noise estimate from
+    :func:`sampled_probabilities`; the same sign-matrix contraction serves
+    both, which is what lets the finite-shot readout policy reuse the ideal
+    decoders unchanged.
+    """
+    probs = np.asarray(probs, dtype=np.float64).reshape(-1)
+    if probs.size != 2**n_qubits:
+        raise ValueError("probability vector length does not match n_qubits")
+    return _sign_matrix(n_qubits, tuple(int(q) for q in qubits)) @ probs
+
+
+def marginal_probabilities_from_probabilities(probs: np.ndarray,
+                                              qubits: Sequence[int],
+                                              n_qubits: int) -> np.ndarray:
+    """Marginal outcome probabilities from a full-register probability vector.
+
+    Accumulates each basis-state probability into its outcome bucket through
+    the memoised basis-index -> outcome-index map, so exact and shot-noise
+    probability vectors share one marginalisation path.
+    """
+    probs = np.asarray(probs, dtype=np.float64).reshape(-1)
+    if probs.size != 2**n_qubits:
+        raise ValueError("probability vector length does not match n_qubits")
+    qubits = tuple(int(q) for q in qubits)
+    outcome = _outcome_indices(n_qubits, qubits)
+    return np.bincount(outcome, weights=probs, minlength=2**len(qubits))
+
+
 def sample_counts(state: np.ndarray, n_shots: int,
                   rng=None) -> np.ndarray:
     """Sample measurement outcomes of the full register.
@@ -243,6 +276,13 @@ def sample_counts(state: np.ndarray, n_shots: int,
     basis outcomes from the exact distribution and returns the per-outcome
     counts, so the shot-noise sensitivity of QuGeoVQC's decoders can be
     studied without a hardware backend.
+
+    Determinism: ``rng`` accepts anything :func:`repro.utils.rng.ensure_rng`
+    does — an integer seed, a :class:`numpy.random.SeedSequence`, an existing
+    generator, or ``None``.  The same ``(state, n_shots, seed)`` triple
+    always returns bit-identical counts, so sampled readouts are exactly
+    reproducible across runs and across the ``sampled_*`` helpers built on
+    top of this one.
     """
     from repro.utils.rng import ensure_rng
 
@@ -257,7 +297,10 @@ def sample_counts(state: np.ndarray, n_shots: int,
 
 def sampled_probabilities(state: np.ndarray, n_shots: int,
                           rng=None) -> np.ndarray:
-    """Shot-noise estimate of the basis-state probabilities."""
+    """Shot-noise estimate of the basis-state probabilities.
+
+    Seed-deterministic: see :func:`sample_counts`.
+    """
     counts = sample_counts(state, n_shots, rng=rng)
     return counts / float(n_shots)
 
@@ -265,17 +308,32 @@ def sampled_probabilities(state: np.ndarray, n_shots: int,
 def sampled_z_expectations(state: np.ndarray, qubits: Sequence[int],
                            n_qubits: int, n_shots: int,
                            rng=None) -> np.ndarray:
-    """Shot-noise estimate of the Pauli-Z expectations used by Q-M-LY."""
+    """Shot-noise estimate of the Pauli-Z expectations used by Q-M-LY.
+
+    Seed-deterministic: see :func:`sample_counts`.  All randomness lives in
+    the single :func:`sampled_probabilities` draw; the decode is the same
+    sign-matrix contraction as the exact :func:`z_expectations`.
+    """
     state = np.asarray(state, dtype=np.complex128).reshape(-1)
     if state.size != 2**n_qubits:
         raise ValueError("state length does not match n_qubits")
     estimated = sampled_probabilities(state, n_shots, rng=rng)
-    values = []
-    for qubit in qubits:
-        if not 0 <= qubit < n_qubits:
-            raise ValueError(f"qubit {qubit} outside register")
-        values.append(float(np.dot(_bit_signs(n_qubits, qubit), estimated)))
-    return np.array(values)
+    return z_expectations_from_probabilities(estimated, qubits, n_qubits)
+
+
+def sampled_marginal_probabilities(state: np.ndarray, qubits: Sequence[int],
+                                   n_qubits: int, n_shots: int,
+                                   rng=None) -> np.ndarray:
+    """Shot-noise estimate of the marginal outcome probabilities (Q-M-PX).
+
+    Seed-deterministic: see :func:`sample_counts`.
+    """
+    state = np.asarray(state, dtype=np.complex128).reshape(-1)
+    if state.size != 2**n_qubits:
+        raise ValueError("state length does not match n_qubits")
+    estimated = sampled_probabilities(state, n_shots, rng=rng)
+    return marginal_probabilities_from_probabilities(estimated, qubits,
+                                                     n_qubits)
 
 
 def conditional_block_probabilities(state: np.ndarray, batch_qubits: int,

@@ -1,0 +1,368 @@
+"""Seed-deterministic measurement-realism perturbations over data sources.
+
+Real surveys are never the clean synthetic gathers the forward model
+produces: traces carry band-limited ambient noise, receivers die, shots
+misfire, channel gains drift, and static time shifts creep in.  This module
+implements those effects as composable perturbations over seismic samples of
+shape ``(n_sources, n_time, n_receivers)`` and, through
+:class:`PerturbedView`, as a zero-copy *view* over any data source the
+training engine consumes (:class:`repro.core.training.ArrayDataSource`, a
+streaming :class:`repro.data.store.ShardLoader`, or any other object with
+``__len__`` / ``gather`` / ``fingerprint``) — the cached clean dataset is
+never regenerated or duplicated on disk.
+
+Determinism contract: each sample's perturbation stream is
+``SeedSequence(seed, spawn_key=(base_position,))`` keyed by the sample's
+position in the *base* dataset, so the same ``(perturbation configs, seed)``
+pair produces bit-identical perturbed samples no matter how the view is
+shuffled, subset, or batched.  The view's :meth:`PerturbedView.fingerprint`
+extends the clean source's content fingerprint with a digest of the
+perturbation recipe, so a checkpoint written against a perturbed view can
+never silently resume against the clean data (or a differently-perturbed
+one).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.telemetry import get_telemetry
+from repro.utils.rng import ensure_rng
+
+#: Bump when perturbation code changes the bits it produces for the same
+#: configuration — part of every perturbed-view fingerprint.
+PERTURBATION_VERSION = 1
+
+
+class Perturbation:
+    """One measurement-realism effect applied to a single seismic sample.
+
+    Subclasses implement :meth:`apply` as a pure function of ``(sample,
+    rng)`` — all randomness must come from the passed generator, never from
+    module state, so :class:`PerturbedView` can hand each sample its own
+    seeded stream.
+    """
+
+    #: Registry key (also the degradation-curve family name).
+    family = "base"
+
+    def apply(self, sample: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        """Return the perturbed copy of one ``(sources, time, receivers)``
+        sample."""
+        raise NotImplementedError
+
+    def config(self) -> Dict[str, object]:
+        """JSON-stable description used in fingerprints and bench output."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TraceNoise(Perturbation):
+    """Band-limited additive noise at a target signal-to-noise ratio.
+
+    White Gaussian noise is filtered to the ``band`` of fractional
+    frequencies (fractions of the Nyquist frequency, along the time axis)
+    and scaled so the sample-wide ``snr_db`` is met exactly:
+    ``noise_power = signal_power / 10**(snr_db / 10)``.  Lower ``snr_db`` is
+    more severe.
+    """
+
+    snr_db: float = 20.0
+    band: Tuple[float, float] = (0.0, 0.5)
+
+    family = "noise"
+
+    def __post_init__(self) -> None:
+        low, high = self.band
+        if not 0.0 <= low < high <= 1.0:
+            raise ValueError("band must satisfy 0 <= low < high <= 1")
+
+    def apply(self, sample: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        noise = rng.standard_normal(sample.shape)
+        n_time = sample.shape[1]
+        spectrum = np.fft.rfft(noise, axis=1)
+        freqs = np.fft.rfftfreq(n_time, d=1.0) / 0.5  # fractions of Nyquist
+        low, high = self.band
+        mask = (freqs >= low) & (freqs <= high)
+        spectrum[:, ~mask, :] = 0.0
+        noise = np.fft.irfft(spectrum, n=n_time, axis=1)
+        noise_power = float(np.mean(noise**2))
+        if noise_power <= 0.0:
+            return sample.copy()
+        signal_power = float(np.mean(sample**2))
+        target_power = signal_power / (10.0 ** (self.snr_db / 10.0))
+        return sample + noise * np.sqrt(target_power / noise_power)
+
+    def config(self) -> Dict[str, object]:
+        return {"family": self.family, "snr_db": float(self.snr_db),
+                "band": [float(self.band[0]), float(self.band[1])]}
+
+
+@dataclass(frozen=True)
+class DeadReceivers(Perturbation):
+    """Zero out a random fraction of receiver channels (all sources/times)."""
+
+    fraction: float = 0.1
+
+    family = "dead-receivers"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+
+    def apply(self, sample: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        n_receivers = sample.shape[2]
+        n_dead = int(round(self.fraction * n_receivers))
+        out = sample.copy()
+        if n_dead:
+            dead = rng.choice(n_receivers, size=n_dead, replace=False)
+            out[:, :, dead] = 0.0
+        return out
+
+    def config(self) -> Dict[str, object]:
+        return {"family": self.family, "fraction": float(self.fraction)}
+
+
+@dataclass(frozen=True)
+class ShotDropout(Perturbation):
+    """Zero out a random fraction of whole shots (source gathers)."""
+
+    fraction: float = 0.2
+
+    family = "shot-dropout"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+
+    def apply(self, sample: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        n_sources = sample.shape[0]
+        n_drop = int(round(self.fraction * n_sources))
+        out = sample.copy()
+        if n_drop:
+            dropped = rng.choice(n_sources, size=n_drop, replace=False)
+            out[dropped] = 0.0
+        return out
+
+    def config(self) -> Dict[str, object]:
+        return {"family": self.family, "fraction": float(self.fraction)}
+
+
+@dataclass(frozen=True)
+class GainJitter(Perturbation):
+    """Multiply each receiver channel by ``1 + N(0, sigma)`` gain error."""
+
+    sigma: float = 0.1
+
+    family = "gain-jitter"
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0.0:
+            raise ValueError("sigma must be non-negative")
+
+    def apply(self, sample: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        gains = 1.0 + self.sigma * rng.standard_normal(sample.shape[2])
+        return sample * gains[None, None, :]
+
+    def config(self) -> Dict[str, object]:
+        return {"family": self.family, "sigma": float(self.sigma)}
+
+
+@dataclass(frozen=True)
+class TimeShift(Perturbation):
+    """Static per-receiver time shifts of up to ``max_shift`` samples.
+
+    Each receiver's traces are shifted by an integer drawn uniformly from
+    ``[-max_shift, max_shift]``; vacated samples are zero-filled (no
+    wrap-around).
+    """
+
+    max_shift: int = 4
+
+    family = "time-shift"
+
+    def __post_init__(self) -> None:
+        if self.max_shift < 0:
+            raise ValueError("max_shift must be non-negative")
+
+    def apply(self, sample: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        out = sample.copy()
+        if self.max_shift == 0:
+            return out
+        n_time = sample.shape[1]
+        shifts = rng.integers(-self.max_shift, self.max_shift + 1,
+                              size=sample.shape[2])
+        for receiver, shift in enumerate(shifts):
+            shift = int(shift)
+            if shift == 0:
+                continue
+            trace = sample[:, :, receiver]
+            shifted = np.zeros_like(trace)
+            if shift > 0:
+                shifted[:, shift:] = trace[:, :n_time - shift]
+            else:
+                shifted[:, :n_time + shift] = trace[:, -shift:]
+            out[:, :, receiver] = shifted
+        return out
+
+    def config(self) -> Dict[str, object]:
+        return {"family": self.family, "max_shift": int(self.max_shift)}
+
+
+#: family name -> perturbation class, for config round-trips and the
+#: degradation harness's severity axes.
+PERTURBATION_FAMILIES = {
+    cls.family: cls
+    for cls in (TraceNoise, DeadReceivers, ShotDropout, GainJitter, TimeShift)
+}
+
+
+def perturbation_from_config(config: Dict[str, object]) -> Perturbation:
+    """Rebuild a perturbation from its :meth:`Perturbation.config` dict."""
+    payload = dict(config)
+    family = payload.pop("family", None)
+    if family not in PERTURBATION_FAMILIES:
+        raise ValueError(f"unknown perturbation family {family!r}; "
+                         f"choose from {sorted(PERTURBATION_FAMILIES)}")
+    if family == "noise" and "band" in payload:
+        payload["band"] = tuple(payload["band"])
+    return PERTURBATION_FAMILIES[family](**payload)
+
+
+def perturbation_fingerprint(perturbations: Sequence[Perturbation],
+                             seed: int) -> str:
+    """Digest of a perturbation recipe (configs + seed + code version)."""
+    blob = json.dumps({
+        "version": PERTURBATION_VERSION,
+        "seed": int(seed),
+        "perturbations": [p.config() for p in perturbations],
+    }, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+class PerturbedView:
+    """A perturbed, zero-regeneration view over a clean data source.
+
+    Implements the same data-source protocol it wraps (``__len__`` /
+    ``gather`` / ``fingerprint``), so it drops into
+    :class:`repro.core.training.Trainer`, ``predict_in_batches`` and
+    ``evaluate_data_source`` anywhere the clean source does.  Velocity
+    targets pass through untouched; seismic samples are perturbed on the
+    fly, per sample, with the deterministic per-position streams described
+    in the module docstring.
+
+    Parameters
+    ----------
+    source:
+        The clean data source.  Its ``gather`` may return seismic flattened
+        (ShardLoader does) or shaped; the view reshapes through
+        ``sample_shape`` either way.
+    perturbations:
+        The effects to compose, applied in order.
+    seed:
+        Root seed of the per-sample streams.
+    sample_shape:
+        The ``(n_sources, n_time, n_receivers)`` shape of one seismic
+        sample; defaults to the source's ``seismic_sample_shape`` when it
+        has one (ShardLoader, or another PerturbedView).
+    """
+
+    def __init__(self, source, perturbations: Sequence[Perturbation],
+                 seed: int = 0,
+                 sample_shape: Optional[Sequence[int]] = None) -> None:
+        perturbations = tuple(perturbations)
+        for perturbation in perturbations:
+            if not isinstance(perturbation, Perturbation):
+                raise TypeError(
+                    f"{type(perturbation).__name__} is not a Perturbation")
+        if sample_shape is None:
+            sample_shape = getattr(source, "seismic_sample_shape", None)
+        if sample_shape is None:
+            raise ValueError(
+                "source has no seismic_sample_shape; pass sample_shape=")
+        self._source = source
+        self._perturbations = perturbations
+        self._seed = int(seed)
+        self._sample_shape = tuple(int(s) for s in sample_shape)
+
+    # -- container / data-source protocol -------------------------------- #
+    def __len__(self) -> int:
+        return len(self._source)
+
+    @property
+    def perturbations(self) -> Tuple[Perturbation, ...]:
+        return self._perturbations
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    @property
+    def seismic_sample_shape(self) -> Tuple[int, ...]:
+        return self._sample_shape
+
+    @property
+    def velocity_sample_shape(self):
+        return getattr(self._source, "velocity_sample_shape", None)
+
+    def _base_positions(self, positions: np.ndarray) -> np.ndarray:
+        """Positions in the underlying *base* dataset.
+
+        A ShardLoader subset/shuffle view carries its base indices in
+        ``_indices``; keying the per-sample streams by those makes the
+        perturbed bits invariant to how the view was sliced.
+        """
+        indices = getattr(self._source, "_indices", None)
+        if indices is None:
+            return positions
+        return np.asarray(indices)[positions]
+
+    def gather(self, indices) -> Tuple[np.ndarray, np.ndarray]:
+        positions = np.asarray(indices, dtype=int).reshape(-1)
+        seismic, velocity = self._source.gather(positions)
+        seismic = np.array(seismic, dtype=np.float64, copy=True)
+        base_positions = self._base_positions(positions)
+        telemetry = get_telemetry()
+        with telemetry.span("robustness.perturb"):
+            for row, base in enumerate(base_positions):
+                sample = seismic[row].reshape(self._sample_shape)
+                rng = ensure_rng(np.random.SeedSequence(
+                    self._seed, spawn_key=(int(base),)))
+                for perturbation in self._perturbations:
+                    sample = perturbation.apply(sample, rng)
+                seismic[row] = sample.reshape(seismic[row].shape)
+        if telemetry.enabled:
+            telemetry.counter("robustness.perturbed_samples").inc(
+                int(positions.size))
+        return seismic, velocity
+
+    def fingerprint(self) -> Dict[str, object]:
+        """The clean source's fingerprint plus the perturbation digest.
+
+        Keeps every key of the base content fingerprint (so shape-based
+        diagnostics still work) and adds a ``perturbation`` digest — a
+        checkpoint written against this view never matches the clean
+        source, and two views only match when configs, seed and
+        perturbation-code version all agree.
+        """
+        fingerprint = dict(self._source.fingerprint())
+        fingerprint["perturbation"] = perturbation_fingerprint(
+            self._perturbations, self._seed)
+        return fingerprint
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-stable description (for bench output and logs)."""
+        return {"seed": self._seed,
+                "sample_shape": list(self._sample_shape),
+                "perturbations": [p.config() for p in self._perturbations]}

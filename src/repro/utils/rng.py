@@ -1,9 +1,18 @@
 """Random-number-generator helpers.
 
-Every stochastic component in the library accepts either an integer seed, an
-existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy).  These
-helpers normalise the three forms so call sites stay short and deterministic
+Every stochastic component in the library accepts either an integer seed, a
+:class:`numpy.random.SeedSequence`, an existing
+:class:`numpy.random.Generator`, or ``None`` (fresh entropy).  These helpers
+normalise the four forms so call sites stay short and deterministic
 experiments remain reproducible.
+
+Determinism contract: the same seed (or an equal ``SeedSequence`` — same
+entropy and spawn key) always yields a generator producing the identical
+stream, so any consumer drawing a fixed sequence of variates from it is
+bit-reproducible.  ``SeedSequence`` support matters for derived streams: the
+robustness perturbation layer and the chunk-seeded dataset generator both key
+per-item streams as ``SeedSequence(seed, spawn_key=(item,))`` and hand them
+straight to :func:`ensure_rng`.
 """
 
 from __future__ import annotations
@@ -12,7 +21,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-RngLike = Union[int, np.random.Generator, None]
+RngLike = Union[int, np.random.Generator, np.random.SeedSequence, None]
 
 
 def ensure_rng(rng: RngLike = None) -> np.random.Generator:
@@ -21,13 +30,17 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     Parameters
     ----------
     rng:
-        ``None`` (fresh entropy), an integer seed, or an existing generator
+        ``None`` (fresh entropy), an integer seed, a
+        :class:`numpy.random.SeedSequence` (a fresh generator seeded from it
+        — equal sequences yield identical streams), or an existing generator
         (returned unchanged).
     """
     if rng is None:
         return np.random.default_rng()
     if isinstance(rng, np.random.Generator):
         return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
     if isinstance(rng, (int, np.integer)):
         return np.random.default_rng(int(rng))
     raise TypeError(f"Cannot build a Generator from {type(rng).__name__}")

@@ -222,6 +222,33 @@ class TestResume:
         np.testing.assert_array_equal(resumed.velocity_array(),
                                       serial.velocity_array())
 
+    def test_resume_rebuilds_only_truncated_shard(self, tmp_path,
+                                                  counting_forward):
+        """Regression: a shard truncated mid-write (torn copy, full disk)
+        must be detected on resume and only that chunk regenerated."""
+        config = small_config()  # 10 samples in chunks of 3 -> 4 chunks
+        serial = SyntheticOpenFWI(config, rng=9).build()
+        store = DatasetStore(tmp_path)
+        fingerprint = dataset_fingerprint(config, 9)
+        open_or_build(config, seed=9, cache_dir=tmp_path)
+        assert store.is_complete(fingerprint)
+
+        shard = store.shard_path(fingerprint, 1)
+        shard.write_bytes(shard.read_bytes()[: shard.stat().st_size // 2])
+
+        counting_forward["calls"] = 0
+        with pytest.warns(UserWarning, match="checksum mismatch"):
+            resumed = open_or_build(config, seed=9, cache_dir=tmp_path)
+        # Only the truncated chunk was regenerated, and the repaired entry
+        # is bit-identical to an uninterrupted serial build.
+        assert counting_forward["calls"] == 1
+        assert store.is_complete(fingerprint)
+        assert store.validate_entry(fingerprint) == []
+        np.testing.assert_array_equal(resumed.seismic_array(),
+                                      serial.seismic_array())
+        np.testing.assert_array_equal(resumed.velocity_array(),
+                                      serial.velocity_array())
+
     def test_finalize_refuses_missing_chunks(self, tmp_path):
         config = small_config()
         store = DatasetStore(tmp_path)

@@ -4,10 +4,14 @@ import numpy as np
 import pytest
 
 from repro.quantum.measurement import (
+    marginal_probabilities,
+    marginal_probabilities_from_probabilities,
     sample_counts,
+    sampled_marginal_probabilities,
     sampled_probabilities,
     sampled_z_expectations,
     z_expectations,
+    z_expectations_from_probabilities,
 )
 
 
@@ -61,3 +65,73 @@ class TestSampling:
         a = sample_counts(state, 200, rng=9)
         b = sample_counts(state, 200, rng=9)
         np.testing.assert_array_equal(a, b)
+
+
+class TestSeededDeterminism:
+    """The documented contract: same (state, n_shots, seed) -> same bits."""
+
+    def test_sample_counts_accepts_seed_sequence(self):
+        state = _random_state(3, seed=8)
+        seq = np.random.SeedSequence(11, spawn_key=(4,))
+        a = sample_counts(state, 200, rng=seq)
+        b = sample_counts(state, 200,
+                          rng=np.random.SeedSequence(11, spawn_key=(4,)))
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_int_and_equivalent_generator_agree(self):
+        state = _random_state(4, seed=10)
+        from_int = sample_counts(state, 300, rng=12)
+        from_gen = sample_counts(state, 300, rng=np.random.default_rng(12))
+        np.testing.assert_array_equal(from_int, from_gen)
+
+    def test_sampled_helpers_bit_identical_under_fixed_seed(self):
+        state = _random_state(4, seed=13)
+        for draw in (lambda rng: sampled_probabilities(state, 500, rng=rng),
+                     lambda rng: sampled_z_expectations(
+                         state, range(4), 4, n_shots=500, rng=rng),
+                     lambda rng: sampled_marginal_probabilities(
+                         state, [0, 2], 4, n_shots=500, rng=rng)):
+            np.testing.assert_array_equal(draw(14), draw(14))
+
+    def test_spawned_streams_are_independent(self):
+        state = _random_state(3, seed=15)
+        root = np.random.SeedSequence(16)
+        a = sample_counts(state, 500,
+                          rng=np.random.SeedSequence(16, spawn_key=(0,)))
+        b = sample_counts(state, 500,
+                          rng=np.random.SeedSequence(16, spawn_key=(1,)))
+        c = sample_counts(state, 500, rng=root)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestFromProbabilitiesDecoders:
+    """Exact and shot-estimated probability vectors share one decode path."""
+
+    def test_z_from_probabilities_matches_statevector_path(self):
+        state = _random_state(4, seed=17)
+        exact = z_expectations(state, range(4), 4)
+        via_probs = z_expectations_from_probabilities(
+            np.abs(state) ** 2, range(4), 4)
+        np.testing.assert_allclose(via_probs, exact, atol=1e-12)
+
+    def test_marginal_from_probabilities_matches_statevector_path(self):
+        state = _random_state(4, seed=18)
+        exact = marginal_probabilities(state, [1, 3], 4)
+        via_probs = marginal_probabilities_from_probabilities(
+            np.abs(state) ** 2, [1, 3], 4)
+        np.testing.assert_allclose(via_probs, exact, atol=1e-12)
+
+    def test_sampled_marginals_converge_to_exact(self):
+        state = _random_state(4, seed=19)
+        exact = marginal_probabilities(state, [0, 1], 4)
+        estimate = sampled_marginal_probabilities(state, [0, 1], 4,
+                                                  n_shots=20_000, rng=20)
+        np.testing.assert_allclose(estimate, exact, atol=0.02)
+
+    def test_from_probabilities_validates_length(self):
+        with pytest.raises(ValueError):
+            z_expectations_from_probabilities(np.ones(5) / 5.0, [0], 2)
+        with pytest.raises(ValueError):
+            marginal_probabilities_from_probabilities(np.ones(3) / 3.0,
+                                                      [0], 2)

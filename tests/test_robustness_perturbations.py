@@ -1,0 +1,298 @@
+"""Tests for the perturbation layer, finite-shot readout and harness.
+
+Covers the determinism contract (same (config, seed) -> bit-identical
+perturbed view, invariant to subsetting), the fingerprint extension that
+distinguishes perturbed from clean data, each perturbation family's physical
+effect, finite-shot readout reproducibility/convergence, and the
+degradation-curve harness end to end on a tiny model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import QuGeoVQC
+from repro.core.config import QuGeoVQCConfig
+from repro.core.training import ArrayDataSource, evaluate_data_source
+from repro.robustness import (
+    DeadReceivers,
+    FiniteShotReadout,
+    GainJitter,
+    PerturbedView,
+    ShotDropout,
+    TimeShift,
+    TraceNoise,
+    default_axes,
+    evaluate_robustness,
+    make_perturbation,
+    perturbation_fingerprint,
+    perturbation_from_config,
+)
+
+SAMPLE_SHAPE = (2, 32, 8)  # (sources, time, receivers)
+N_FEATURES = int(np.prod(SAMPLE_SHAPE))
+
+
+def _source(n_samples=6, rng_seed=0):
+    rng = np.random.default_rng(rng_seed)
+    seismic = rng.normal(size=(n_samples, N_FEATURES))
+    velocity = rng.random(size=(n_samples, 6, 6))
+    return ArrayDataSource(seismic, velocity)
+
+
+def _sample(rng_seed=0):
+    return np.random.default_rng(rng_seed).normal(size=SAMPLE_SHAPE)
+
+
+class TestPerturbationFamilies:
+    def test_trace_noise_hits_target_snr(self):
+        sample = _sample()
+        noisy = TraceNoise(snr_db=10.0).apply(sample,
+                                              np.random.default_rng(0))
+        noise = noisy - sample
+        snr_db = 10.0 * np.log10(np.mean(sample**2) / np.mean(noise**2))
+        assert snr_db == pytest.approx(10.0, abs=0.1)
+
+    def test_trace_noise_respects_frequency_band(self):
+        sample = _sample()
+        band = (0.0, 0.25)
+        noisy = TraceNoise(snr_db=0.0, band=band).apply(
+            sample, np.random.default_rng(0))
+        spectrum = np.fft.rfft(noisy - sample, axis=1)
+        freqs = np.fft.rfftfreq(SAMPLE_SHAPE[1], d=1.0) / 0.5
+        out_of_band = np.abs(spectrum[:, freqs > band[1], :])
+        assert np.max(out_of_band) < 1e-8 * np.max(np.abs(spectrum))
+
+    def test_dead_receivers_zeroes_whole_channels(self):
+        sample = _sample()
+        out = DeadReceivers(fraction=0.25).apply(sample,
+                                                 np.random.default_rng(0))
+        dead = np.all(out == 0.0, axis=(0, 1))
+        assert dead.sum() == round(0.25 * SAMPLE_SHAPE[2])
+        alive = ~dead
+        assert np.array_equal(out[:, :, alive], sample[:, :, alive])
+
+    def test_shot_dropout_zeroes_whole_sources(self):
+        sample = _sample()
+        out = ShotDropout(fraction=0.5).apply(sample,
+                                              np.random.default_rng(0))
+        dropped = np.all(out == 0.0, axis=(1, 2))
+        assert dropped.sum() == 1  # round(0.5 * 2 sources)
+
+    def test_gain_jitter_scales_each_channel_uniformly(self):
+        sample = _sample()
+        out = GainJitter(sigma=0.2).apply(sample, np.random.default_rng(0))
+        gains = out / sample
+        # every (source, time) cell of one receiver sees the same gain
+        assert np.allclose(gains, gains[0:1, 0:1, :])
+        assert not np.allclose(gains, 1.0)
+
+    def test_time_shift_translates_without_wraparound(self):
+        sample = _sample()
+        out = TimeShift(max_shift=4).apply(sample, np.random.default_rng(1))
+        assert out.shape == sample.shape
+        assert not np.array_equal(out, sample)
+        # a shifted trace is the original translated with zero fill; energy
+        # can only be lost at the edges, never created
+        assert np.sum(out**2) <= np.sum(sample**2) + 1e-9
+
+    def test_zero_severity_is_identity(self):
+        sample = _sample()
+        rng = np.random.default_rng(0)
+        assert np.array_equal(TimeShift(max_shift=0).apply(sample, rng),
+                              sample)
+        assert np.array_equal(DeadReceivers(fraction=0.0).apply(sample, rng),
+                              sample)
+        assert np.array_equal(ShotDropout(fraction=0.0).apply(sample, rng),
+                              sample)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TraceNoise(band=(0.5, 0.2))
+        with pytest.raises(ValueError):
+            DeadReceivers(fraction=1.5)
+        with pytest.raises(ValueError):
+            ShotDropout(fraction=-0.1)
+        with pytest.raises(ValueError):
+            GainJitter(sigma=-1.0)
+        with pytest.raises(ValueError):
+            TimeShift(max_shift=-1)
+
+    def test_config_round_trip(self):
+        for perturbation in (TraceNoise(snr_db=7.5, band=(0.1, 0.6)),
+                             DeadReceivers(fraction=0.3),
+                             ShotDropout(fraction=0.4),
+                             GainJitter(sigma=0.05),
+                             TimeShift(max_shift=3)):
+            rebuilt = perturbation_from_config(perturbation.config())
+            assert rebuilt == perturbation
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown perturbation family"):
+            perturbation_from_config({"family": "solar-flare"})
+        with pytest.raises(ValueError, match="unknown perturbation family"):
+            make_perturbation("solar-flare", 1.0)
+
+
+class TestPerturbedView:
+    def test_same_config_and_seed_is_bit_identical(self):
+        source = _source()
+        kwargs = dict(seed=3, sample_shape=SAMPLE_SHAPE)
+        view_a = PerturbedView(source, [TraceNoise(10.0), GainJitter(0.2)],
+                               **kwargs)
+        view_b = PerturbedView(source, [TraceNoise(10.0), GainJitter(0.2)],
+                               **kwargs)
+        indices = np.arange(len(source))
+        seismic_a, velocity_a = view_a.gather(indices)
+        seismic_b, velocity_b = view_b.gather(indices)
+        assert np.array_equal(seismic_a, seismic_b)
+        assert np.array_equal(velocity_a, velocity_b)
+
+    def test_different_seed_differs(self):
+        source = _source()
+        indices = np.arange(len(source))
+        a, _ = PerturbedView(source, [TraceNoise(10.0)], seed=0,
+                             sample_shape=SAMPLE_SHAPE).gather(indices)
+        b, _ = PerturbedView(source, [TraceNoise(10.0)], seed=1,
+                             sample_shape=SAMPLE_SHAPE).gather(indices)
+        assert not np.array_equal(a, b)
+
+    def test_velocity_passes_through_untouched(self):
+        source = _source()
+        view = PerturbedView(source, [TraceNoise(5.0)], seed=0,
+                             sample_shape=SAMPLE_SHAPE)
+        _, velocity = view.gather(np.arange(len(source)))
+        assert np.array_equal(velocity, source.velocity)
+
+    def test_per_sample_streams_do_not_depend_on_batching(self):
+        source = _source()
+        view = PerturbedView(source, [TraceNoise(10.0)], seed=0,
+                             sample_shape=SAMPLE_SHAPE)
+        all_at_once, _ = view.gather(np.arange(len(source)))
+        one_by_one = np.concatenate(
+            [view.gather([i])[0] for i in range(len(source))])
+        assert np.array_equal(all_at_once, one_by_one)
+
+    def test_fingerprint_differs_from_clean_and_keeps_base_keys(self):
+        source = _source()
+        view = PerturbedView(source, [TraceNoise(10.0)], seed=0,
+                             sample_shape=SAMPLE_SHAPE)
+        clean, perturbed = source.fingerprint(), view.fingerprint()
+        assert perturbed != clean
+        assert set(clean) <= set(perturbed)
+        assert perturbed["perturbation"] == perturbation_fingerprint(
+            view.perturbations, view.seed)
+
+    def test_fingerprint_sensitive_to_recipe_and_seed(self):
+        base = perturbation_fingerprint([TraceNoise(10.0)], 0)
+        assert perturbation_fingerprint([TraceNoise(10.0)], 1) != base
+        assert perturbation_fingerprint([TraceNoise(20.0)], 0) != base
+        assert perturbation_fingerprint(
+            [TraceNoise(10.0), GainJitter(0.1)], 0) != base
+
+    def test_requires_sample_shape_or_source_attribute(self):
+        source = _source()
+        with pytest.raises(ValueError, match="sample_shape"):
+            PerturbedView(source, [TraceNoise(10.0)], seed=0)
+        # a PerturbedView itself advertises the shape, so views compose
+        inner = PerturbedView(source, [TraceNoise(10.0)], seed=0,
+                              sample_shape=SAMPLE_SHAPE)
+        outer = PerturbedView(inner, [GainJitter(0.1)], seed=1)
+        assert outer.seismic_sample_shape == SAMPLE_SHAPE
+        assert len(outer) == len(source)
+
+    def test_rejects_non_perturbations(self):
+        with pytest.raises(TypeError):
+            PerturbedView(_source(), ["noise"], seed=0,
+                          sample_shape=SAMPLE_SHAPE)
+
+    def test_describe_is_json_stable(self):
+        import json
+        view = PerturbedView(_source(), [TraceNoise(10.0)], seed=2,
+                             sample_shape=SAMPLE_SHAPE)
+        assert json.loads(json.dumps(view.describe())) == view.describe()
+
+
+def _tiny_model():
+    config = QuGeoVQCConfig(n_groups=1, qubits_per_group=6, n_blocks=2,
+                            decoder="layer", output_shape=(6, 6))
+    return QuGeoVQC(config, rng=0)
+
+
+def _model_source(n_samples=4):
+    rng = np.random.default_rng(0)
+    seismic = rng.normal(size=(n_samples, 64))
+    velocity = rng.random(size=(n_samples, 6, 6))
+    return ArrayDataSource(seismic, velocity)
+
+
+class TestFiniteShotReadout:
+    def test_fixed_seed_is_bit_reproducible(self):
+        model = _tiny_model()
+        seismic = _model_source().seismic
+        a = FiniteShotReadout(model, n_shots=256, rng=3).predict_batch(seismic)
+        b = FiniteShotReadout(model, n_shots=256, rng=3).predict_batch(seismic)
+        assert np.array_equal(a, b)
+
+    def test_converges_to_ideal_decoder_with_shots(self):
+        model = _tiny_model()
+        seismic = _model_source().seismic
+        ideal = model.predict_batch(seismic)
+        few = FiniteShotReadout(model, 64, rng=0).predict_batch(seismic)
+        many = FiniteShotReadout(model, 65536, rng=0).predict_batch(seismic)
+        assert few.shape == ideal.shape
+        assert (np.abs(many - ideal).max() < np.abs(few - ideal).max())
+        assert np.abs(many - ideal).max() < 0.05
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            FiniteShotReadout(_tiny_model(), n_shots=0)
+        with pytest.raises(TypeError, match="decode"):
+            FiniteShotReadout(object(), n_shots=128)
+        with pytest.raises(ValueError, match="empty"):
+            FiniteShotReadout(_tiny_model(), 16).predict_batch(
+                np.empty((0, 64)))
+
+    def test_drops_into_evaluate_data_source(self):
+        model = _tiny_model()
+        source = _model_source()
+        wrapped = FiniteShotReadout(model, n_shots=4096, rng=0)
+        metrics = evaluate_data_source(wrapped, source, split="sampled")
+        assert set(metrics) == {"sampled_ssim", "sampled_mse"}
+        assert np.isfinite(metrics["sampled_ssim"])
+
+
+class TestEvaluateRobustness:
+    def test_emits_one_curve_per_axis_with_degradation(self):
+        model = _tiny_model()
+        source = _model_source()
+        axes = [{"family": "noise", "severities": [20.0, 5.0]},
+                {"family": "dead-receivers", "severities": [0.5]},
+                {"family": "finite-shot", "severities": [512]}]
+        report = evaluate_robustness(model, source, axes=axes, seeds=(0, 1),
+                                     sample_shape=(2, 8, 4))
+        assert set(report["baseline"]) == {"ssim", "mse"}
+        assert [c["family"] for c in report["curves"]] == [
+            "noise", "dead-receivers", "finite-shot"]
+        for curve in report["curves"]:
+            for point in curve["points"]:
+                assert point["seeds"] == [0, 1]
+                assert len(point["ssim"]) == 2
+                assert point["ssim_degradation"] == pytest.approx(
+                    report["baseline"]["ssim"] - point["ssim_mean"])
+                assert np.isfinite(point["mse_mean"])
+
+    def test_default_axes_cover_required_families(self):
+        for quick in (False, True):
+            families = {axis["family"] for axis in default_axes(quick)}
+            assert {"noise", "dead-receivers", "finite-shot"} <= families
+
+    def test_rejects_unknown_family_and_empty_seeds(self):
+        model = _tiny_model()
+        source = _model_source()
+        with pytest.raises(ValueError, match="unknown family"):
+            evaluate_robustness(model, source,
+                                axes=[{"family": "nope", "severities": [1]}],
+                                sample_shape=(2, 8, 4))
+        with pytest.raises(ValueError, match="seed"):
+            evaluate_robustness(model, source, seeds=(),
+                                sample_shape=(2, 8, 4))

@@ -293,6 +293,153 @@ class TestCheckpointValidation:
         np.testing.assert_array_equal(loaded["array"], payload["array"])
 
 
+class NanAfter(ClassicalAutogradStep):
+    """Step strategy that poisons one batch's loss (for the NaN guard)."""
+
+    def __init__(self, fail_on_call, value=float("nan")):
+        super().__init__()
+        self.fail_on_call = int(fail_on_call)
+        self.value = value
+        self.calls = 0
+
+    def step(self, model, seismic, velocity):
+        self.calls += 1
+        if self.calls == self.fail_on_call:
+            return self.value
+        return super().step(model, seismic, velocity)
+
+
+class TestNanLossGuard:
+    def test_stop_policy_halts_with_nan_loss_flag(self, tiny_scaled_dataset):
+        model = MODEL_BUILDERS["classical"]()
+        result = Trainer(_training_config(epochs=6),
+                         strategy=NanAfter(fail_on_call=3)).train(
+            model, tiny_scaled_dataset)
+        # the run ends in the epoch that produced the NaN, not at epochs=6
+        train_loss = result.history("train_loss")
+        assert len(train_loss) < 6
+        assert np.isnan(train_loss[-1])
+        assert result.history("nan_loss") == [1.0]
+        # final metrics still describe a usable (finite) model: the guard
+        # fires before the poisoned optimiser update
+        assert all(np.isfinite(tensor.data).all()
+                   for tensor in model.parameter_tensors())
+
+    def test_inf_loss_also_trips_the_guard(self, tiny_scaled_dataset):
+        result = Trainer(_training_config(epochs=4),
+                         strategy=NanAfter(1, value=float("inf"))).train(
+            MODEL_BUILDERS["classical"](), tiny_scaled_dataset)
+        assert result.history("nan_loss") == [1.0]
+        assert len(result.history("train_loss")) == 1
+
+    def test_raise_policy_surfaces_the_batch(self, tiny_scaled_dataset):
+        config = _training_config(epochs=4, nan_policy="raise")
+        with pytest.raises(FloatingPointError, match="non-finite loss"):
+            Trainer(config, strategy=NanAfter(2)).train(
+                MODEL_BUILDERS["classical"](), tiny_scaled_dataset)
+
+    def test_clean_run_has_no_nan_loss_history(self, tiny_scaled_dataset):
+        result = Trainer(_training_config(epochs=2)).train(
+            MODEL_BUILDERS["classical"](), tiny_scaled_dataset)
+        assert result.history("nan_loss") == []
+        assert all(np.isfinite(v) for v in result.history("train_loss"))
+
+    def test_invalid_nan_policy_rejected(self):
+        with pytest.raises(ValueError, match="nan_policy"):
+            _training_config(nan_policy="ignore")
+
+
+class TestCheckpointCorruptionRecovery:
+    """A damaged checkpoint costs retraining time, never a crash."""
+
+    def _interrupted_run(self, tiny_scaled_dataset, tmp_path, every=2):
+        path = str(tmp_path / "run.ckpt")
+        config = _training_config(epochs=6)
+        Trainer(config).train(MODEL_BUILDERS["quantum"](), tiny_scaled_dataset,
+                              callbacks=[Checkpoint(path, every=every),
+                                         StopAfter(3)])
+        return path, config
+
+    def test_backup_rotated_next_to_checkpoint(self, tiny_scaled_dataset,
+                                               tmp_path):
+        import os
+        path, _ = self._interrupted_run(tiny_scaled_dataset, tmp_path)
+        assert os.path.exists(path)
+        assert os.path.exists(path + ".bak")
+        # primary holds epoch 4 (saved after epoch index 3), backup epoch 2
+        assert load_checkpoint(path)["epoch"] == 4
+        assert load_checkpoint(path + ".bak")["epoch"] == 2
+
+    def test_truncated_checkpoint_falls_back_to_last_good(
+            self, tiny_scaled_dataset, tmp_path):
+        from pathlib import Path
+        path, config = self._interrupted_run(tiny_scaled_dataset, tmp_path)
+        full = Trainer(config).train(MODEL_BUILDERS["quantum"](),
+                                     tiny_scaled_dataset)
+        file = Path(path)
+        file.write_bytes(file.read_bytes()[:20])
+        with pytest.warns(UserWarning, match="resuming from last-good"):
+            resumed = Trainer(config).train(MODEL_BUILDERS["quantum"](),
+                                            tiny_scaled_dataset,
+                                            resume_from=path)
+        # the .bak snapshot restores exactly, so the trajectory still
+        # matches the uninterrupted run bit for bit
+        assert resumed.history("train_loss") == full.history("train_loss")
+
+    def test_digest_mismatch_falls_back_to_last_good(self,
+                                                     tiny_scaled_dataset,
+                                                     tmp_path):
+        import pickle
+        from pathlib import Path
+        path, config = self._interrupted_run(tiny_scaled_dataset, tmp_path)
+        full = Trainer(config).train(MODEL_BUILDERS["quantum"](),
+                                     tiny_scaled_dataset)
+        file = Path(path)
+        envelope = pickle.loads(file.read_bytes())
+        envelope["payload"] = envelope["payload"][:-1] + bytes(
+            [envelope["payload"][-1] ^ 0xFF])
+        file.write_bytes(pickle.dumps(envelope))
+        with pytest.raises(Exception, match="integrity digest"):
+            load_checkpoint(path)
+        with pytest.warns(UserWarning, match="resuming from last-good"):
+            resumed = Trainer(config).train(MODEL_BUILDERS["quantum"](),
+                                            tiny_scaled_dataset,
+                                            resume_from=path)
+        assert resumed.history("train_loss") == full.history("train_loss")
+
+    def test_missing_checkpoint_starts_fresh_with_warning(
+            self, tiny_scaled_dataset, tmp_path):
+        config = _training_config(epochs=3)
+        fresh = Trainer(config).train(MODEL_BUILDERS["quantum"](),
+                                      tiny_scaled_dataset)
+        with pytest.warns(UserWarning, match="starting fresh"):
+            recovered = Trainer(config).train(
+                MODEL_BUILDERS["quantum"](), tiny_scaled_dataset,
+                resume_from=str(tmp_path / "never-written.ckpt"))
+        assert recovered.history("train_loss") == fresh.history("train_loss")
+
+    def test_both_candidates_damaged_starts_fresh(self, tiny_scaled_dataset,
+                                                  tmp_path):
+        from pathlib import Path
+        path, config = self._interrupted_run(tiny_scaled_dataset, tmp_path)
+        fresh = Trainer(config).train(MODEL_BUILDERS["quantum"](),
+                                      tiny_scaled_dataset)
+        Path(path).write_bytes(b"garbage")
+        Path(path + ".bak").write_bytes(b"")
+        with pytest.warns(UserWarning, match="starting fresh"):
+            recovered = Trainer(config).train(
+                MODEL_BUILDERS["quantum"](), tiny_scaled_dataset,
+                resume_from=path)
+        assert recovered.history("train_loss") == fresh.history("train_loss")
+
+    def test_legacy_raw_pickle_checkpoint_still_loads(self, tmp_path):
+        import pickle
+        path = tmp_path / "legacy.ckpt"
+        payload = {"version": 1, "epoch": 2}
+        path.write_bytes(pickle.dumps(payload))
+        assert load_checkpoint(path) == payload
+
+
 class TestCallbacks:
     def test_final_epoch_evaluates_once(self, tiny_scaled_dataset):
         """Regression: final_metrics must reuse the last epoch's evaluation."""
