@@ -32,13 +32,18 @@ from common import (add_cache_dir_argument, add_json_argument,
 from repro.seismic import (
     BatchedAcousticSimulator2D,
     ForwardModel,
+    PMLBoundary,
     SimulationConfig,
     SpongeBoundary,
     SurveyGeometry,
     VelocityModelConfig,
+    edge_reflection_energy,
     flat_layer_model,
+    ricker_wavelet,
     stable_time_step,
 )
+from repro.seismic.kernels import available_kernels, kernel_available
+from repro.telemetry import capture
 from repro.utils.tables import format_table
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -131,6 +136,109 @@ def run_benchmark(n_steps: int, map_batch: int, chunk: int, repeats: int
     return rows, speedups, float32_speedups
 
 
+#: Boundary columns of the kernel grid: the historical sponge default
+#: (20-cell pad) against the thin PML pad it can shrink to.  Both run in
+#: pad_grid mode so the padded-cell count is the figure of merit for the
+#: full-grid work per time step.
+BOUNDARIES: Dict[str, object] = {
+    "sponge20": lambda: SpongeBoundary(width=20, pad_grid=True),
+    "pml12": lambda: PMLBoundary(width=12, pad_grid=True),
+}
+
+DTYPES = ("float64", "float32")
+
+
+def _grid_kernels() -> List[str]:
+    return [name for name in available_kernels()
+            if kernel_available(name) and name != "cffi"]
+
+
+def run_kernel_grid(n_steps: int, repeats: int
+                    ) -> Tuple[List[List[object]], Dict[str, float],
+                               Dict[str, int], Dict[str, float]]:
+    """Time every available kernel x boundary x dtype on a 5-shot map.
+
+    Returns table rows, a ``"kernel|boundary|dtype" -> wavefield-steps/s``
+    throughput dict (the regression-gate metric), the padded-cell count per
+    boundary, and each boundary's edge-reflection energy score.
+    """
+    velocity = _velocities(1)[0]
+    survey = SurveyGeometry(n_sources=N_SOURCES, n_receivers=N_RECEIVERS,
+                            nx=GRID[1])
+    sources = survey.source_positions()
+    receivers = survey.receiver_positions()
+    dt = stable_time_step(MAX_VELOCITY, dx=DX, spatial_order=4)
+    wavelet = ricker_wavelet(n_steps, dt, 15.0)
+
+    kernels = _grid_kernels()
+    simulators: Dict[str, BatchedAcousticSimulator2D] = {}
+    runs: Dict[str, object] = {}
+    for kernel in kernels:
+        for boundary_name, make in BOUNDARIES.items():
+            config = SimulationConfig(dx=DX, dz=DX, dt=dt, n_steps=n_steps,
+                                      spatial_order=4, boundary=make())
+            for dtype in DTYPES:
+                key = f"{kernel}|{boundary_name}|{dtype}"
+                simulator = BatchedAcousticSimulator2D(
+                    velocity, config, policy=dtype, kernel=kernel)
+                simulators[key] = simulator
+                runs[key] = (lambda s=simulator: s.simulate_shots(
+                    sources, wavelet, receivers))
+                runs[key]()  # warm-up (allocator, caches, JIT compilation)
+    timings = _time_interleaved(runs, repeats)
+
+    rows: List[List[object]] = []
+    throughput: Dict[str, float] = {}
+    padded_cells: Dict[str, int] = {}
+    for key, elapsed in timings.items():
+        kernel, boundary_name, dtype = key.split("|")
+        cells = simulators[key].padded_cells
+        padded_cells[boundary_name] = cells
+        throughput[key] = N_SOURCES * n_steps / elapsed if elapsed > 0 else 0.0
+        rows.append([kernel, boundary_name, dtype, cells, elapsed * 1e3,
+                     elapsed * 1e3 / N_SOURCES, throughput[key]])
+
+    reflection = {name: edge_reflection_energy(make())
+                  for name, make in BOUNDARIES.items()}
+    return rows, throughput, padded_cells, reflection
+
+
+def count_kernel_dispatches(n_steps: int = 8) -> Dict[str, int]:
+    """One cheap dispatch per available kernel, counted through telemetry.
+
+    CI asserts on these counts to prove the optional compiled kernel really
+    ran (rather than silently degrading to the python loop).
+    """
+    velocity = _velocities(1)[0]
+    survey = SurveyGeometry(n_sources=1, n_receivers=8, nx=GRID[1])
+    dt = stable_time_step(MAX_VELOCITY, dx=DX, spatial_order=4)
+    config = SimulationConfig(dx=DX, dz=DX, dt=dt, n_steps=n_steps,
+                              spatial_order=4,
+                              boundary=SpongeBoundary(width=12))
+    wavelet = ricker_wavelet(n_steps, dt, 15.0)
+    with capture("summary") as telemetry:
+        for kernel in _grid_kernels():
+            BatchedAcousticSimulator2D(
+                velocity, config, kernel=kernel).simulate_shots(
+                    survey.source_positions(), wavelet,
+                    survey.receiver_positions())
+        counters = telemetry.snapshot()["counters"]
+    return {name.split(".")[-1]: int(count)
+            for name, count in counters.items()
+            if name.startswith("propagator.kernel.")}
+
+
+def render_kernel_grid(rows: List[List[object]], n_steps: int) -> str:
+    formatted = [row[:4] + [f"{row[4]:.1f}", f"{row[5]:.2f}", f"{row[6]:,.0f}"]
+                 for row in sorted(rows)]
+    return format_table(
+        ["kernel", "boundary", "dtype", "padded cells", "total ms",
+         "ms/shot", "wavefield steps/s"],
+        formatted,
+        title=f"Kernel x boundary x dtype grid: {GRID[0]}x{GRID[1]} model, "
+              f"{N_SOURCES} shots, {n_steps} steps")
+
+
 def render(rows: List[List[object]], n_steps: int) -> str:
     return format_table(
         ["propagator", "scenario", "steps", "shots", "total ms", "ms/shot",
@@ -164,20 +272,38 @@ def main() -> int:
 
     rows, speedups, float32_speedups = run_benchmark(n_steps, map_batch,
                                                      chunk, args.repeats)
-    text = render(rows, n_steps)
+    grid_rows, throughput, padded_cells, reflection = run_kernel_grid(
+        n_steps, args.repeats)
+    dispatches = count_kernel_dispatches()
+    text = (render(rows, n_steps) + "\n\n"
+            + render_kernel_grid(grid_rows, n_steps))
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / "bench_seismic.txt"
     path.write_text(text + "\n")
     print(text)
     print(f"[written to {path}]")
+    for name, energy in reflection.items():
+        print(f"edge-reflection energy {name} "
+              f"({padded_cells[name]:,} padded cells): {energy:.3e}")
+    for name, count in sorted(dispatches.items()):
+        print(f"kernel dispatches {name}: {count}")
     if args.json is not None:
         header = ["propagator", "scenario", "steps", "shots", "total_ms",
                   "ms_per_shot", "vs_scalar"]
+        grid_header = ["kernel", "boundary", "dtype", "padded_grid_cells",
+                       "total_ms", "ms_per_shot", "wavefield_steps_per_sec"]
         write_json("bench_seismic",
                    {"n_steps": n_steps, "map_batch": map_batch,
                     "rows": [dict(zip(header, row)) for row in rows],
                     "speedups": speedups,
-                    "float32_speedups": float32_speedups},
+                    "float32_speedups": float32_speedups,
+                    "kernel_grid": [dict(zip(grid_header, row))
+                                    for row in grid_rows],
+                    "throughput": throughput,
+                    "padded_grid_cells": padded_cells,
+                    "edge_reflection_energy": reflection,
+                    "kernel_dispatch": dispatches,
+                    "kernels": _grid_kernels()},
                    path=args.json)
 
     single_map = next(iter(speedups.values()))

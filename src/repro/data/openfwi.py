@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.data.dataset import FWIDataset, FWISample
 from repro.seismic.acoustic2d import SimulationConfig, stable_time_step
-from repro.seismic.boundary import SpongeBoundary
+from repro.seismic.boundary import make_boundary, resolve_boundary_name
 from repro.seismic.forward_modeling import ForwardModel
 from repro.seismic.survey import SurveyGeometry
 from repro.seismic.velocity_models import (
@@ -45,6 +45,11 @@ class OpenFWIConfig:
     ``chunk_size * n_sources`` wavefields in memory at once, so small chunks
     keep the working set cache-resident; large chunks only help on machines
     with large caches.
+
+    ``boundary`` selects the absorbing boundary kind (``None`` resolves the
+    ``QUGEO_SEISMIC_BOUNDARY`` default, ``"sponge"`` out of the box);
+    ``record_every`` decimates receiver recording in time (default 1 =
+    every step — the historical, fingerprint-preserving behaviour).
     """
 
     n_samples: int = 500
@@ -59,6 +64,8 @@ class OpenFWIConfig:
     boundary_width: int = 12
     spatial_order: int = 4
     chunk_size: int = 4
+    boundary: Optional[str] = None
+    record_every: int = 1
 
     def __post_init__(self) -> None:
         if self.n_samples <= 0:
@@ -67,6 +74,12 @@ class OpenFWIConfig:
             raise ValueError("n_time_steps must be positive")
         if self.chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
+        if self.boundary is not None:
+            # Validate eagerly so a typo fails at config time, not mid-build.
+            resolve_boundary_name(self.boundary)
+        if int(self.record_every) != self.record_every or self.record_every < 1:
+            raise ValueError("record_every must be a positive integer")
+        self.record_every = int(self.record_every)
         if self.model_config is None:
             self.model_config = VelocityModelConfig(shape=tuple(self.velocity_shape))
         elif tuple(self.model_config.shape) != tuple(self.velocity_shape):
@@ -135,7 +148,8 @@ class SyntheticOpenFWI:
     def _build_forward_model(self) -> ForwardModel:
         config = self.config
         nz, nx = config.velocity_shape
-        boundary = SpongeBoundary(
+        boundary = make_boundary(
+            config.boundary,
             width=min(config.boundary_width, max(1, min(nz, nx) // 3 - 1)))
         # Pick a CFL-stable dt for the fastest velocity the generator can emit.
         dt = stable_time_step(config.model_config.max_velocity,
@@ -144,7 +158,8 @@ class SyntheticOpenFWI:
         sim = SimulationConfig(dx=config.dx, dz=config.dx, dt=dt,
                                n_steps=config.n_time_steps,
                                spatial_order=config.spatial_order,
-                               boundary=boundary)
+                               boundary=boundary,
+                               record_every=config.record_every)
         survey = SurveyGeometry(n_sources=config.n_sources,
                                 n_receivers=config.n_receivers, nx=nx)
         return ForwardModel(survey=survey, config=sim,
@@ -162,11 +177,16 @@ class SyntheticOpenFWI:
                                       family=self.config.family, rng=self._rng)
 
     def _sample_metadata(self) -> dict:
+        sim = self._forward_model.config
         return {
             "family": self.config.family,
             "peak_frequency": self.config.peak_frequency,
             "n_time_steps": self.config.n_time_steps,
             "dx": self.config.dx,
+            "dt": sim.dt,
+            "boundary": resolve_boundary_name(self.config.boundary),
+            "record_every": sim.record_every,
+            "effective_dt": sim.effective_dt,
         }
 
     def simulate_sample(self, velocity: np.ndarray) -> FWISample:

@@ -107,22 +107,40 @@ def dataset_fingerprint(config: OpenFWIConfig, seed: int,
     data: the fingerprint digests every ``OpenFWIConfig`` field, the root
     seed, the effective sample count, and the code-relevant physics
     parameters (the CFL-stable time step, the resolved propagator engine,
-    and :data:`DATA_FORMAT_VERSION`).
+    the resolved boundary / time-loop kernel / recording stride, and
+    :data:`DATA_FORMAT_VERSION`).
+
+    Config fields at their bit-identity-preserving defaults (sponge
+    boundary, ``record_every=1``, python kernel) are *omitted* from the
+    digest payload, so every fingerprint minted before those fields existed
+    still addresses the same cached shards.
     """
     from repro.seismic.acoustic2d import stable_time_step
+    from repro.seismic.boundary import resolve_boundary_name
+    from repro.seismic.kernels import default_kernel_name
     from repro.seismic.propagators import default_propagator_name
 
+    config_payload = _jsonable(config)
+    boundary = resolve_boundary_name(config_payload.pop("boundary", None))
+    record_every = int(config_payload.pop("record_every", 1) or 1)
+    kernel = default_kernel_name()
     payload = {
         "format_version": DATA_FORMAT_VERSION,
         "seed": int(seed),
         "n_samples": int(n_samples if n_samples is not None
                          else config.n_samples),
-        "config": _jsonable(config),
+        "config": config_payload,
         "dt": stable_time_step(config.model_config.max_velocity,
                                dx=config.dx, dz=config.dx,
                                spatial_order=config.spatial_order),
         "propagator": default_propagator_name(),
     }
+    if boundary != "sponge":
+        payload["boundary"] = boundary
+    if record_every != 1:
+        payload["record_every"] = record_every
+    if kernel != "python":
+        payload["kernel"] = kernel
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
@@ -509,6 +527,25 @@ class ShardLoader:
     @property
     def velocity_sample_shape(self) -> Tuple[int, ...]:
         return self._velocity_shape
+
+    @property
+    def record_every(self) -> int:
+        """Time-step stride the stored gathers were recorded at (1 = every)."""
+        return int(self._metadata.get("record_every", 1) or 1)
+
+    @property
+    def effective_dt(self) -> Optional[float]:
+        """Seconds between stored trace samples (``dt * record_every``).
+
+        ``None`` when the manifest predates time-axis metadata.
+        """
+        effective = self._metadata.get("effective_dt")
+        if effective is not None:
+            return float(effective)
+        dt = self._metadata.get("dt")
+        if dt is not None:
+            return float(dt) * self.record_every
+        return None
 
     def _load_chunk(self, chunk: int) -> Tuple[np.ndarray, np.ndarray]:
         telemetry = get_telemetry()

@@ -8,8 +8,22 @@ generators for OpenFWI-style velocity models (FlatVel / CurveVel / FlatFault
 families).
 """
 
-from repro.seismic.wavelets import ricker_wavelet, dominant_frequency
-from repro.seismic.boundary import sponge_profile, SpongeBoundary
+from repro.seismic.wavelets import (
+    ricker_wavelet,
+    dominant_frequency,
+    nyquist_record_stride,
+)
+from repro.seismic.boundary import (
+    BOUNDARY_ENV_VAR,
+    BOUNDARY_KINDS,
+    PMLBoundary,
+    SpongeBoundary,
+    default_boundary_name,
+    make_boundary,
+    pml_profiles,
+    resolve_boundary_name,
+    sponge_profile,
+)
 from repro.seismic.survey import SurveyGeometry
 from repro.seismic.acoustic2d import (
     AcousticSimulator2D,
@@ -29,6 +43,21 @@ from repro.seismic.propagators import (
     set_default_propagator,
     unregister_propagator,
 )
+from repro.seismic.kernels import (
+    KERNEL_ENV_VAR,
+    DuplicateKernelError,
+    KernelError,
+    KernelUnavailableError,
+    UnknownKernelError,
+    available_kernels,
+    default_kernel_name,
+    get_kernel,
+    kernel_available,
+    register_kernel,
+    resolve_kernel,
+    unregister_kernel,
+)
+from repro.seismic.diagnostics import edge_reflection_energy
 from repro.seismic.forward_modeling import (
     ForwardModel,
     forward_model_shot_gather,
@@ -46,8 +75,29 @@ from repro.seismic.velocity_models import (
 __all__ = [
     "ricker_wavelet",
     "dominant_frequency",
+    "nyquist_record_stride",
     "sponge_profile",
+    "pml_profiles",
     "SpongeBoundary",
+    "PMLBoundary",
+    "BOUNDARY_ENV_VAR",
+    "BOUNDARY_KINDS",
+    "default_boundary_name",
+    "resolve_boundary_name",
+    "make_boundary",
+    "KERNEL_ENV_VAR",
+    "DuplicateKernelError",
+    "KernelError",
+    "KernelUnavailableError",
+    "UnknownKernelError",
+    "available_kernels",
+    "default_kernel_name",
+    "get_kernel",
+    "kernel_available",
+    "register_kernel",
+    "resolve_kernel",
+    "unregister_kernel",
+    "edge_reflection_energy",
     "SurveyGeometry",
     "AcousticSimulator2D",
     "BatchedAcousticSimulator2D",

@@ -9,8 +9,18 @@ leap-frog scheme in time and a 4th-order central stencil in space (the "2-8"
 family referenced by the paper; the spatial order is configurable).  Outgoing
 energy is absorbed with a :class:`~repro.seismic.boundary.SpongeBoundary`.
 
-The solver records the pressure field at receiver locations every time step,
-producing the shot gathers that constitute OpenFWI-style seismic data.
+The solver records the pressure field at receiver locations every
+``record_every``-th time step (every step by default), producing the shot
+gathers that constitute OpenFWI-style seismic data.
+
+The batched engine delegates its time loop to a kernel resolved from the
+:mod:`repro.seismic.kernels` registry (``QUGEO_SEISMIC_KERNEL``): the
+``"python"`` kernel is the vectorised numpy loop (bit-identical to the
+historical inline loop), the ``"numba"`` kernel fuses the whole update into
+one compiled pass per wavefield when numba is installed.  Boundaries may be
+a :class:`~repro.seismic.boundary.SpongeBoundary` or a
+:class:`~repro.seismic.boundary.PMLBoundary`, optionally padded outside the
+velocity model (``pad_grid``).
 """
 
 from __future__ import annotations
@@ -30,7 +40,9 @@ except ImportError:  # pragma: no cover - exercised via the fallback test
     _daxpy = None
     _saxpy = None
 
-from repro.seismic.boundary import SpongeBoundary
+from repro.seismic.boundary import PMLBoundary, SpongeBoundary
+from repro.seismic.kernels import resolve_kernel
+from repro.seismic.kernels.base import KernelPlan, PMLState
 from repro.telemetry import get_telemetry
 from repro.xm import get_dtype_policy
 
@@ -82,7 +94,16 @@ class SimulationConfig:
     spatial_order:
         Order of the spatial stencil (2, 4 or 8).
     boundary:
-        Absorbing boundary configuration.
+        Absorbing boundary configuration (:class:`SpongeBoundary` or
+        :class:`~repro.seismic.boundary.PMLBoundary`; PML requires the
+        batched engine).
+    record_every:
+        Receiver recording stride in time steps.  The default 1 records
+        every step (bit-identical to the historical behaviour); larger
+        strides decimate the gather to ``ceil(n_steps / record_every)``
+        samples at an effective sampling interval of ``dt * record_every``
+        — see :func:`repro.seismic.wavelets.nyquist_record_stride` for a
+        stride that keeps the source band un-aliased.
     """
 
     dx: float = 10.0
@@ -91,6 +112,7 @@ class SimulationConfig:
     n_steps: int = 1000
     spatial_order: int = 4
     boundary: SpongeBoundary = field(default_factory=SpongeBoundary)
+    record_every: int = 1
 
     def __post_init__(self) -> None:
         if self.spatial_order not in _LAPLACIAN_COEFFS:
@@ -100,6 +122,19 @@ class SimulationConfig:
             raise ValueError("dx, dz and dt must be positive")
         if self.n_steps <= 0:
             raise ValueError("n_steps must be positive")
+        if int(self.record_every) != self.record_every or self.record_every < 1:
+            raise ValueError("record_every must be a positive integer")
+        self.record_every = int(self.record_every)
+
+    @property
+    def n_recorded(self) -> int:
+        """Recorded time samples per trace: ``ceil(n_steps / record_every)``."""
+        return -(-self.n_steps // self.record_every)
+
+    @property
+    def effective_dt(self) -> float:
+        """Sampling interval of the recorded traces (``dt * record_every``)."""
+        return self.dt * self.record_every
 
     def cfl_number(self, max_velocity: float) -> float:
         """Return the Courant number for ``max_velocity``."""
@@ -175,24 +210,53 @@ class AcousticSimulator2D:
             raise ValueError("velocities must be strictly positive")
         self.config = config or SimulationConfig()
         self.config.validate_cfl(float(self.velocity.max()))
-        self._mask = self.config.boundary.build_mask(self.velocity.shape)
+        boundary = self.config.boundary
+        if not isinstance(boundary, SpongeBoundary):
+            raise ValueError(
+                "AcousticSimulator2D only supports SpongeBoundary; use the "
+                "batched propagator for PML boundaries")
+        if boundary.pad_grid:
+            raise ValueError(
+                "pad_grid boundaries require the batched propagator")
+        self._mask = boundary.build_mask(self.velocity.shape)
         self._coeffs = _LAPLACIAN_COEFFS[self.config.spatial_order]
         self._pad = len(self._coeffs) // 2
+        # Stencil coefficients pre-scaled per axis (hoists the / dh**2 out
+        # of the Laplacian loop) and preallocated scratch: the padded field
+        # and the Laplacian accumulator are reused across every time step.
+        self._coeffs_z = self._coeffs / self.config.dz**2
+        self._coeffs_x = self._coeffs / self.config.dx**2
+        nz, nx = self.velocity.shape
+        pad = self._pad
+        self._padded = np.zeros((nz + 2 * pad, nx + 2 * pad), dtype=np.float64)
+        self._lap = np.zeros((nz, nx), dtype=np.float64)
 
     # ------------------------------------------------------------------ #
     # numerics
     # ------------------------------------------------------------------ #
     def _laplacian(self, field: np.ndarray) -> np.ndarray:
-        """4th/2nd/8th-order Laplacian with edge replication padding."""
+        """4th/2nd/8th-order Laplacian with edge replication padding.
+
+        Returns the preallocated accumulator (valid until the next call).
+        """
         pad = self._pad
-        coeffs = self._coeffs
-        padded = np.pad(field, pad, mode="edge")
         nz, nx = field.shape
-        lap = np.zeros_like(field)
-        for k, c in enumerate(coeffs):
+        padded = self._padded
+        # Edge-replicated fill of the scratch buffer, matching
+        # ``np.pad(field, pad, mode="edge")`` including the corners.
+        padded[pad:pad + nz, pad:pad + nx] = field
+        padded[pad:pad + nz, :pad] = field[:, :1]
+        padded[pad:pad + nz, pad + nx:] = field[:, -1:]
+        padded[:pad, :] = padded[pad:pad + 1, :]
+        padded[pad + nz:, :] = padded[pad + nz - 1:pad + nz, :]
+        lap = self._lap
+        lap[:] = 0.0
+        for k in range(len(self._coeffs)):
             offset = k - pad
-            lap += c * padded[pad + offset:pad + offset + nz, pad:pad + nx] / self.config.dz**2
-            lap += c * padded[pad:pad + nz, pad + offset:pad + offset + nx] / self.config.dx**2
+            lap += self._coeffs_z[k] * padded[pad + offset:pad + offset + nz,
+                                              pad:pad + nx]
+            lap += self._coeffs_x[k] * padded[pad:pad + nz,
+                                              pad + offset:pad + offset + nx]
         return lap
 
     # ------------------------------------------------------------------ #
@@ -220,7 +284,8 @@ class AcousticSimulator2D:
         Returns
         -------
         numpy.ndarray
-            Shot gather of shape ``(n_steps, n_receivers)``.
+            Shot gather of shape ``(config.n_recorded, n_receivers)``
+            (``n_steps`` rows at the default ``record_every=1``).
         list of numpy.ndarray, optional
             Pressure snapshots when ``record_wavefield`` is true.
         """
@@ -230,6 +295,7 @@ class AcousticSimulator2D:
             receiver_positions, nz, nx, "receiver")
 
         n_steps = self.config.n_steps
+        record_every = self.config.record_every
         wavelet = np.zeros(n_steps, dtype=np.float64)
         src = np.asarray(source_wavelet, dtype=np.float64)
         wavelet[:min(n_steps, src.size)] = src[:n_steps]
@@ -239,7 +305,8 @@ class AcousticSimulator2D:
 
         p_prev = np.zeros((nz, nx), dtype=np.float64)
         p_curr = np.zeros((nz, nx), dtype=np.float64)
-        gather = np.zeros((n_steps, len(receivers)), dtype=np.float64)
+        gather = np.zeros((self.config.n_recorded, len(receivers)),
+                          dtype=np.float64)
         snapshots: List[np.ndarray] = []
 
         rec_rows = np.array([r for r, _ in receivers], dtype=np.intp)
@@ -258,7 +325,8 @@ class AcousticSimulator2D:
             p_next *= self._mask
             p_curr *= self._mask
 
-            gather[step] = p_next[rec_rows, rec_cols]
+            if step % record_every == 0:
+                gather[step // record_every] = p_next[rec_rows, rec_cols]
             if record_wavefield and step % wavefield_stride == 0:
                 snapshots.append(p_next.copy())
 
@@ -330,6 +398,29 @@ def _stencil_matrix(n: int, coeffs: np.ndarray) -> np.ndarray:
     return matrix
 
 
+def _dilate_bool(mask: np.ndarray) -> np.ndarray:
+    """1-D boolean dilation by one cell (marks the pad halo)."""
+    out = mask.copy()
+    out[:-1] |= mask[1:]
+    out[1:] |= mask[:-1]
+    return out
+
+
+def _bool_runs(mask: np.ndarray) -> List[slice]:
+    """Contiguous ``True`` runs of a 1-D boolean array, as slices."""
+    runs: List[slice] = []
+    start = None
+    for index, value in enumerate(mask):
+        if value and start is None:
+            start = index
+        elif not value and start is not None:
+            runs.append(slice(start, index))
+            start = None
+    if start is not None:
+        runs.append(slice(start, mask.size))
+    return runs
+
+
 class BatchedAcousticSimulator2D:
     """Leap-frog propagator advancing a batch of wavefields per time step.
 
@@ -367,9 +458,11 @@ class BatchedAcousticSimulator2D:
 
     #: Instances accept a leading velocity-model batch axis.
     supports_model_batch = True
+    #: Instances accept a time-loop kernel selection.
+    supports_kernel = True
 
     def __init__(self, velocity: np.ndarray, config: SimulationConfig = None,
-                 policy=None) -> None:
+                 policy=None, kernel=None) -> None:
         self.velocity = np.asarray(velocity, dtype=np.float64)
         if self.velocity.ndim not in (2, 3):
             raise ValueError(
@@ -382,11 +475,38 @@ class BatchedAcousticSimulator2D:
         self.config.validate_cfl(float(self.velocity.max()))
         self.policy = get_dtype_policy(policy)
         real = self.policy.real
-        self._mask = self.config.boundary.build_mask(
-            self.velocity.shape).astype(real, copy=False)
+        self._kernel_spec = kernel
+
+        # Optionally extend the grid so the absorbing band lives outside
+        # the velocity model: edge-replicated velocity pad, no pad above a
+        # free surface.  Sources/receivers stay in model coordinates and
+        # are shifted on use.
+        boundary = self.config.boundary
+        self._is_pml = isinstance(boundary, PMLBoundary)
+        pad = int(boundary.width) if getattr(boundary, "pad_grid", False) else 0
+        free_surface = bool(getattr(boundary, "free_surface", True))
+        self._pad_top = 0 if free_surface else pad
+        self._pad_side = pad
+        if pad:
+            spec = ([(0, 0)] * (self.velocity.ndim - 2)
+                    + [(self._pad_top, pad), (pad, pad)])
+            self._grid_velocity = np.pad(self.velocity, spec, mode="edge")
+        else:
+            self._grid_velocity = self.velocity
+        nz, nx = self._grid_velocity.shape[-2:]
+        self._grid_nz, self._grid_nx = nz, nx
+
+        if self._is_pml:
+            boundary.validate_grid((nz, nx))
+            self._mask = None
+            self._pml_profiles = boundary.profiles(
+                (nz, nx), self.config.dx, self.config.dz, self.config.dt,
+                float(self.velocity.max()))
+        else:
+            self._mask = boundary.build_mask((nz, nx)).astype(real, copy=False)
+            self._pml_profiles = None
         self._telemetry = get_telemetry()
         coeffs = _LAPLACIAN_COEFFS[self.config.spatial_order]
-        nz, nx = self.grid_shape
         self._coeffs_z = (coeffs / self.config.dz**2).astype(real, copy=False)
         self._coeffs_x = (coeffs / self.config.dx**2).astype(real, copy=False)
         # ndimage.correlate1d accumulates in double precision internally, so
@@ -405,11 +525,32 @@ class BatchedAcousticSimulator2D:
             self._dx_op_t = ((_stencil_matrix(nx, coeffs)
                               / self.config.dx**2)
                              .astype(real, copy=False).T)
+        if self._is_pml:
+            # Centred first-derivative operators for the PML memory-variable
+            # recursions (same clamped-edge treatment as the Laplacian).
+            d1 = np.array([-0.5, 0.0, 0.5])
+            self._d1_z = (d1 / self.config.dz).astype(real, copy=False)
+            self._d1_x = (d1 / self.config.dx).astype(real, copy=False)
+            if not self._use_ndimage:
+                self._d1z_op = (_stencil_matrix(nz, d1)
+                                / self.config.dz).astype(real, copy=False)
+                self._d1x_op_t = ((_stencil_matrix(nx, d1) / self.config.dx)
+                                  .astype(real, copy=False).T)
 
     @property
     def grid_shape(self) -> Tuple[int, int]:
-        """``(nz, nx)`` of the propagation grid."""
+        """``(nz, nx)`` of the velocity model (source/receiver coordinates)."""
         return self.velocity.shape[-2:]
+
+    @property
+    def padded_grid_shape(self) -> Tuple[int, int]:
+        """``(nz, nx)`` of the propagation grid including ``pad_grid`` pads."""
+        return (self._grid_nz, self._grid_nx)
+
+    @property
+    def padded_cells(self) -> int:
+        """Cell count of the propagation grid (every pass scales with it)."""
+        return self._grid_nz * self._grid_nx
 
     @property
     def n_models(self) -> Optional[int]:
@@ -419,18 +560,48 @@ class BatchedAcousticSimulator2D:
     # ------------------------------------------------------------------ #
     # numerics
     # ------------------------------------------------------------------ #
-    def _laplacian_into(self, field: np.ndarray, out: np.ndarray,
-                        scratch: np.ndarray) -> np.ndarray:
-        """Batched Laplacian of ``field`` written into ``out`` (one pass per axis)."""
+    def _lap_z_into(self, field: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Second z-derivative of ``field`` written into ``out``."""
         if self._use_ndimage:
             _correlate1d(field, self._coeffs_z, axis=-2, mode="nearest",
                          output=out)
-            _correlate1d(field, self._coeffs_x, axis=-1, mode="nearest",
-                         output=scratch)
         else:
             np.matmul(self._dz_op, field, out=out)
-            np.matmul(field, self._dx_op_t, out=scratch)
+        return out
+
+    def _lap_x_into(self, field: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Second x-derivative of ``field`` written into ``out``."""
+        if self._use_ndimage:
+            _correlate1d(field, self._coeffs_x, axis=-1, mode="nearest",
+                         output=out)
+        else:
+            np.matmul(field, self._dx_op_t, out=out)
+        return out
+
+    def _laplacian_into(self, field: np.ndarray, out: np.ndarray,
+                        scratch: np.ndarray) -> np.ndarray:
+        """Batched Laplacian of ``field`` written into ``out`` (one pass per axis)."""
+        self._lap_z_into(field, out)
+        self._lap_x_into(field, scratch)
         out += scratch
+        return out
+
+    def _d1z_into(self, field: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Centred first z-derivative (PML recursions only)."""
+        if self._use_ndimage:
+            _correlate1d(field, self._d1_z, axis=-2, mode="nearest",
+                         output=out)
+        else:
+            np.matmul(self._d1z_op, field, out=out)
+        return out
+
+    def _d1x_into(self, field: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Centred first x-derivative (PML recursions only)."""
+        if self._use_ndimage:
+            _correlate1d(field, self._d1_x, axis=-1, mode="nearest",
+                         output=out)
+        else:
+            np.matmul(field, self._d1x_op_t, out=out)
         return out
 
     # ------------------------------------------------------------------ #
@@ -460,32 +631,39 @@ class BatchedAcousticSimulator2D:
         Returns
         -------
         numpy.ndarray
-            ``(n_shots, n_steps, n_receivers)`` gathers for a 2-D velocity,
-            or ``(n_models, n_shots, n_steps, n_receivers)`` for a stacked
-            velocity batch.
+            ``(n_shots, config.n_recorded, n_receivers)`` gathers for a 2-D
+            velocity, or ``(n_models, n_shots, n_recorded, n_receivers)``
+            for a stacked velocity batch.
         list of numpy.ndarray, optional
             When ``record_wavefield`` is true, snapshots with the same
-            leading batch axes and trailing grid shape.
+            leading batch axes and trailing (model) grid shape.
         """
-        nz, nx = self.grid_shape
+        model_nz, model_nx = self.grid_shape
+        nz, nx = self._grid_nz, self._grid_nx
+        row_off, col_off = self._pad_top, self._pad_side
         sources = list(source_positions)
         if not sources:
             raise ValueError("need at least one source position")
-        sources = _check_positions(sources, nz, nx, "source")
-        receivers = _check_positions(receiver_positions, nz, nx, "receiver")
+        sources = _check_positions(sources, model_nz, model_nx, "source")
+        receivers = _check_positions(receiver_positions, model_nz, model_nx,
+                                     "receiver")
 
         n_shots = len(sources)
         n_steps = self.config.n_steps
+        record_every = self.config.record_every
+        n_recorded = self.config.n_recorded
         wavelets = _shot_wavelets(source_wavelet, n_shots, n_steps)
 
         dt2 = self.config.dt**2
-        c2 = self.velocity**2
-        src_rows = np.array([r for r, _ in sources], dtype=np.intp)
-        src_cols = np.array([c for _, c in sources], dtype=np.intp)
+        c2 = self._grid_velocity**2
+        src_rows = np.array([r + row_off for r, _ in sources], dtype=np.intp)
+        src_cols = np.array([c + col_off for _, c in sources], dtype=np.intp)
         # Flattened-grid indices: single-axis fancy indexing on a reshaped
         # view is measurably cheaper per step than a (row, col) index pair.
         src_flat = src_rows * nx + src_cols
-        rec_flat = np.array([r * nx + c for r, c in receivers], dtype=np.intp)
+        rec_rows = np.array([r + row_off for r, _ in receivers], dtype=np.intp)
+        rec_cols = np.array([c + col_off for _, c in receivers], dtype=np.intp)
+        rec_flat = rec_rows * nx + rec_cols
 
         cell_area = self.config.dx * self.config.dz
         real = self.policy.real
@@ -537,13 +715,12 @@ class BatchedAcousticSimulator2D:
         # Gathers accumulate in float64 under every policy: recorded traces
         # are the caller-facing result, and keeping them at accumulation
         # precision costs nothing on the per-step hot path.
-        gather = np.empty(batch_shape + (n_steps, len(receivers)),
+        gather = np.empty(batch_shape + (n_recorded, len(receivers)),
                           dtype=self.policy.accum_real)
-        gather_flat = gather.reshape(total_batch, n_steps, len(receivers))
+        gather_flat = gather.reshape(total_batch, n_recorded, len(receivers))
         inject_rows = np.arange(total_batch)
         inject_cols = np.tile(src_flat, total_batch // n_shots)
         inject_amps = scaled_wavelets.reshape(total_batch, n_steps)
-        snapshots: List[np.ndarray] = []
 
         # Hoist per-step lookups out of the hot loop.  BLAS axpy is picked to
         # match the buffer precision (daxpy for float64, saxpy for float32);
@@ -555,8 +732,6 @@ class BatchedAcousticSimulator2D:
             axpy = _saxpy
         else:  # pragma: no cover - no such policy today
             axpy = None
-        use_axpy = axpy is not None
-        laplacian_into = self._laplacian_into
 
         # The causal edge of the discrete wavefront decays super-exponentially
         # through every representable magnitude, so at reduced precision a
@@ -565,78 +740,59 @@ class BatchedAcousticSimulator2D:
         # flushing magnitudes below ~1e-24 (fifteen orders under any signal
         # the float32 gather could resolve) to exact zero keeps that band
         # empty at a cost of two vectorised passes every 16 steps.
-        flush_tiny = real != np.dtype(np.float64)
-        if flush_tiny:
-            flush_cutoff = np.finfo(real).tiny / np.finfo(real).eps ** 2
+        if real != np.dtype(np.float64):
+            flush_cutoff = float(np.finfo(real).tiny / np.finfo(real).eps ** 2)
+        else:
+            flush_cutoff = None
 
-        # Per-phase profiling accumulates into plain local floats and is
-        # flushed to the registry once after the loop; when telemetry is off
-        # the loop pays one local-bool check per phase and nothing else.
+        pml_state = None
+        if self._is_pml:
+            a_x, b_x, a_z, b_z = self._pml_profiles
+            pad_x = a_x != 0.0
+            pad_z = a_z != 0.0
+            halo_x = _dilate_bool(pad_x)
+            halo_z = _dilate_bool(pad_z)
+            pml_state = PMLState(
+                a_x=a_x, b_x=b_x, a_z=a_z, b_z=b_z,
+                x_active=halo_x, z_active=halo_z,
+                half_dx_inv=0.5 / self.config.dx,
+                half_dz_inv=0.5 / self.config.dz,
+                psi_x=np.zeros_like(p_prev), psi_z=np.zeros_like(p_prev),
+                zeta_x=np.zeros_like(p_prev), zeta_z=np.zeros_like(p_prev),
+                x_strips=_bool_runs(pad_x), z_strips=_bool_runs(pad_z),
+                x_halo=_bool_runs(halo_x), z_halo=_bool_runs(halo_z))
+
+        plan = KernelPlan(
+            ops=self, telemetry=self._telemetry,
+            n_steps=n_steps, record_every=record_every,
+            record_wavefield=record_wavefield,
+            wavefield_stride=wavefield_stride,
+            grid=(nz, nx), batch_shape=batch_shape,
+            total_batch=total_batch, n_shots=n_shots,
+            real=real, flush_cutoff=flush_cutoff,
+            p_prev=p_prev, p_curr=p_curr, p_next=p_next,
+            lap=lap, lap_x=lap_x, c2dt2=c2dt2, mask=mask, pml=pml_state,
+            src_rows=src_rows, src_cols=src_cols,
+            rec_rows=rec_rows, rec_cols=rec_cols, rec_flat=rec_flat,
+            inject_rows=inject_rows, inject_cols=inject_cols,
+            inject_amps=inject_amps,
+            flat_views=flat_views, line_views=line_views, axpy=axpy,
+            gather=gather, gather_flat=gather_flat)
+
+        kernel, fallback_reason = resolve_kernel(
+            self._kernel_spec, need_snapshots=record_wavefield)
         telemetry = self._telemetry
         timing = telemetry.enabled
-        t_laplacian = t_update = t_inject = t_boundary = t_record = 0.0
+        if timing:
+            telemetry.counter(f"propagator.kernel.{kernel.name}").inc()
+            if fallback_reason is not None:
+                telemetry.counter("propagator.kernel.fallbacks").inc()
+
         loop_start = perf_counter()
-
-        for step in range(n_steps):
-            if timing:
-                t0 = perf_counter()
-            # p_next = 2 p_curr - p_prev + dt^2 c^2 laplacian(p_curr)
-            laplacian_into(p_curr, lap, lap_x)
-            if timing:
-                t1 = perf_counter()
-                t_laplacian += t1 - t0
-            np.multiply(lap, c2dt2, out=p_next)
-            if use_axpy:
-                # One fused pass per term (y += a*x); 2*p is bit-identical
-                # to p + p, so this only reorders the summation.
-                next_line = line_views[id(p_next)]
-                axpy(line_views[id(p_prev)], next_line, a=-1.0)
-                axpy(line_views[id(p_curr)], next_line, a=2.0)
-            else:
-                p_next -= p_prev
-                p_next += p_curr
-                p_next += p_curr
-            if timing:
-                t2 = perf_counter()
-                t_update += t2 - t1
-            p_flat = flat_views[id(p_next)]
-            p_flat[inject_rows, inject_cols] += inject_amps[:, step]
-            if timing:
-                t3 = perf_counter()
-                t_inject += t3 - t2
-
-            # Sponge damping on both time levels keeps the scheme stable;
-            # the 2-D mask broadcasts over the leading batch axes.
-            p_next *= mask
-            p_curr *= mask
-            if timing:
-                t4 = perf_counter()
-                t_boundary += t4 - t3
-
-            gather_flat[:, step, :] = p_flat[:, rec_flat]
-            if record_wavefield and step % wavefield_stride == 0:
-                snapshots.append(p_next.copy())
-            if timing:
-                t_record += perf_counter() - t4
-
-            if flush_tiny and step % 16 == 15:
-                np.copyto(p_next, 0.0, where=np.abs(p_next) < flush_cutoff)
-                np.copyto(p_curr, 0.0, where=np.abs(p_curr) < flush_cutoff)
-
-            p_prev, p_curr, p_next = p_curr, p_next, p_prev
+        kernel.run(plan)
+        elapsed = perf_counter() - loop_start
 
         if timing:
-            elapsed = perf_counter() - loop_start
-            telemetry.record_timer("propagator.laplacian", t_laplacian,
-                                   count=n_steps)
-            telemetry.record_timer("propagator.update", t_update,
-                                   count=n_steps)
-            telemetry.record_timer("propagator.inject", t_inject,
-                                   count=n_steps)
-            telemetry.record_timer("propagator.boundary", t_boundary,
-                                   count=n_steps)
-            telemetry.record_timer("propagator.record", t_record,
-                                   count=n_steps)
             telemetry.counter("propagator.steps").inc(n_steps)
             telemetry.counter("propagator.shots").inc(n_shots)
             telemetry.counter("propagator.wavefields").inc(total_batch)
@@ -647,5 +803,11 @@ class BatchedAcousticSimulator2D:
                     n_steps * total_batch / elapsed)
 
         if record_wavefield:
+            snapshots = plan.snapshots
+            if row_off or col_off:
+                # Crop padded-grid snapshots back to model coordinates.
+                snapshots = [snap[..., row_off:row_off + model_nz,
+                                  col_off:col_off + model_nx]
+                             for snap in snapshots]
             return gather, snapshots
         return gather

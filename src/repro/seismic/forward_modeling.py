@@ -63,6 +63,11 @@ class ForwardModel:
         Propagation engine: ``None`` (registry default), a registered name
         (``"scalar"``, ``"batched"``) or a factory callable — see
         :func:`repro.seismic.propagators.get_propagator`.
+    kernel:
+        Time-loop kernel selection for engines that support one (``None`` =
+        ambient ``QUGEO_SEISMIC_KERNEL`` default) — see
+        :func:`repro.seismic.kernels.get_kernel`.  Passing an explicit
+        kernel to an engine without kernel support raises.
     """
 
     survey: SurveyGeometry
@@ -70,6 +75,7 @@ class ForwardModel:
     peak_frequency: float = 15.0
     normalize: bool = True
     propagator: PropagatorSpec = None
+    kernel: object = None
 
     def source_wavelet(self) -> np.ndarray:
         """Return the Ricker source wavelet used for every shot."""
@@ -81,6 +87,14 @@ class ForwardModel:
             raise ValueError(
                 f"velocity width {velocity.shape[-1]} does not match survey "
                 f"nx {self.survey.nx}")
+
+    def _build_simulator(self, factory, velocity):
+        if self.kernel is None:
+            return factory(velocity, self.config)
+        if not getattr(factory, "supports_kernel", False):
+            raise ValueError(
+                f"propagator {factory!r} does not accept a kernel selection")
+        return factory(velocity, self.config, kernel=self.kernel)
 
     def model_shots(self, velocity: np.ndarray) -> np.ndarray:
         """Simulate every shot of the survey over ``velocity``.
@@ -95,7 +109,8 @@ class ForwardModel:
         telemetry.counter("forward_model.calls").inc()
         telemetry.counter("forward_model.models").inc()
         with telemetry.span("forward_model.shots"):
-            simulator = get_propagator(self.propagator)(velocity, self.config)
+            simulator = self._build_simulator(get_propagator(self.propagator),
+                                              velocity)
             data = simulator.simulate_shots(self.survey.source_positions(),
                                             self.source_wavelet(),
                                             self.survey.receiver_positions())
@@ -146,8 +161,8 @@ class ForwardModel:
         with telemetry.span("forward_model.shots"):
             blocks = []
             for start in range(0, n_models, chunk):
-                simulator = factory(velocities[start:start + chunk],
-                                    self.config)
+                simulator = self._build_simulator(
+                    factory, velocities[start:start + chunk])
                 blocks.append(
                     simulator.simulate_shots(sources, wavelet, receivers))
             data = np.concatenate(blocks, axis=0)

@@ -1,0 +1,248 @@
+"""Fused leap-frog time loops: one cache-friendly pass per wavefield.
+
+The vectorised numpy kernel makes 5+ full-grid memory passes per time step
+(two stencil passes, update, mask, record).  The loops below fuse the
+clamped-edge Laplacian, the two-step time update, source injection, the
+boundary treatment and decimated receiver recording into per-cell
+arithmetic over ``(batch, nz, nx)`` wavefields — one read-mostly pass for
+the update plus one cheap damping/record pass — parallelised over the
+batch axis.
+
+When numba is installed the loops are compiled with
+``@njit(parallel=True, fastmath=False)`` (``fastmath`` stays off so the
+summation semantics match the scalar reference to ~1e-13 in float64).
+Without numba the same source runs as plain Python (``prange`` degrades to
+``range``), which is far too slow for production but lets the parity tests
+exercise the exact loop bodies on tiny grids in environments that cannot
+install numba.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+
+from repro.seismic.kernels.base import KernelPlan, PropagatorKernel
+
+try:  # numba is optional; the registry gates the "numba" kernel on it.
+    from numba import njit, prange
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - exercised where numba is absent
+    HAVE_NUMBA = False
+    prange = range
+
+    def njit(*args, **kwargs):
+        """No-op decorator: the loop bodies run as plain Python."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(func):
+            return func
+
+        return wrap
+
+
+@njit(parallel=True, fastmath=False, cache=True)
+def leapfrog_sponge(p_prev, p_curr, p_next, c2dt2, model_of, mask,
+                    coeffs_z, coeffs_x, pad, src_z, src_x, inject_amps,
+                    rec_rows, rec_cols, gather, n_steps, record_every):
+    """Advance ``n_steps`` sponge-damped leap-frog steps, fused per cell."""
+    n_batch, nz, nx = p_curr.shape
+    n_taps = coeffs_z.shape[0]
+    n_rec = rec_rows.shape[0]
+    for step in range(n_steps):
+        for b in prange(n_batch):
+            pp = p_prev[b]
+            pc = p_curr[b]
+            pn = p_next[b]
+            cd = c2dt2[model_of[b]]
+            for z in range(nz):
+                for x in range(nx):
+                    d2 = 0.0
+                    for k in range(n_taps):
+                        off = k - pad
+                        zz = z + off
+                        if zz < 0:
+                            zz = 0
+                        elif zz >= nz:
+                            zz = nz - 1
+                        xx = x + off
+                        if xx < 0:
+                            xx = 0
+                        elif xx >= nx:
+                            xx = nx - 1
+                        d2 += coeffs_z[k] * pc[zz, x] + coeffs_x[k] * pc[z, xx]
+                    pn[z, x] = 2.0 * pc[z, x] - pp[z, x] + cd[z, x] * d2
+            pn[src_z[b], src_x[b]] += inject_amps[b, step]
+            # Sponge damping on both time levels keeps the scheme stable.
+            for z in range(nz):
+                for x in range(nx):
+                    m = mask[z, x]
+                    pn[z, x] *= m
+                    pc[z, x] *= m
+            if step % record_every == 0:
+                t = step // record_every
+                for r in range(n_rec):
+                    gather[b, t, r] = pn[rec_rows[r], rec_cols[r]]
+        tmp = p_prev
+        p_prev = p_curr
+        p_curr = p_next
+        p_next = tmp
+
+
+@njit(parallel=True, fastmath=False, cache=True)
+def leapfrog_pml(p_prev, p_curr, p_next, c2dt2, model_of,
+                 coeffs_z, coeffs_x, pad,
+                 a_x, b_x, a_z, b_z, x_active, z_active,
+                 half_dx_inv, half_dz_inv,
+                 psi_x, psi_z, zeta_x, zeta_z,
+                 src_z, src_x, inject_amps,
+                 rec_rows, rec_cols, gather, n_steps, record_every):
+    """Advance ``n_steps`` CFS-PML leap-frog steps, fused per cell.
+
+    Two passes per step: the psi recursions need the *previous* psi of
+    neighbouring cells, so they complete over the whole grid before the
+    update pass reads their spatial derivative.
+    """
+    n_batch, nz, nx = p_curr.shape
+    n_taps = coeffs_z.shape[0]
+    n_rec = rec_rows.shape[0]
+    for step in range(n_steps):
+        # Pass 1: psi recursions (first-derivative memory variables).
+        for b in prange(n_batch):
+            pc = p_curr[b]
+            for z in range(nz):
+                for x in range(nx):
+                    if a_x[x] != 0.0:
+                        xm = x - 1 if x > 0 else 0
+                        xp = x + 1 if x < nx - 1 else nx - 1
+                        dpx = (pc[z, xp] - pc[z, xm]) * half_dx_inv
+                        psi_x[b, z, x] = (b_x[x] * psi_x[b, z, x]
+                                          + a_x[x] * dpx)
+                    if a_z[z] != 0.0:
+                        zm = z - 1 if z > 0 else 0
+                        zp = z + 1 if z < nz - 1 else nz - 1
+                        dpz = (pc[zp, x] - pc[zm, x]) * half_dz_inv
+                        psi_z[b, z, x] = (b_z[z] * psi_z[b, z, x]
+                                          + a_z[z] * dpz)
+        # Pass 2: zeta recursions + corrected laplacian + time update.
+        for b in prange(n_batch):
+            pp = p_prev[b]
+            pc = p_curr[b]
+            pn = p_next[b]
+            cd = c2dt2[model_of[b]]
+            for z in range(nz):
+                for x in range(nx):
+                    d2x = 0.0
+                    d2z = 0.0
+                    for k in range(n_taps):
+                        off = k - pad
+                        zz = z + off
+                        if zz < 0:
+                            zz = 0
+                        elif zz >= nz:
+                            zz = nz - 1
+                        xx = x + off
+                        if xx < 0:
+                            xx = 0
+                        elif xx >= nx:
+                            xx = nx - 1
+                        d2z += coeffs_z[k] * pc[zz, x]
+                        d2x += coeffs_x[k] * pc[z, xx]
+                    lap = d2x + d2z
+                    if x_active[x]:
+                        xm = x - 1 if x > 0 else 0
+                        xp = x + 1 if x < nx - 1 else nx - 1
+                        dpsx = (psi_x[b, z, xp] - psi_x[b, z, xm]) * half_dx_inv
+                        zx = zeta_x[b, z, x]
+                        if a_x[x] != 0.0:
+                            zx = b_x[x] * zx + a_x[x] * (d2x + dpsx)
+                            zeta_x[b, z, x] = zx
+                        lap += dpsx + zx
+                    if z_active[z]:
+                        zm = z - 1 if z > 0 else 0
+                        zp = z + 1 if z < nz - 1 else nz - 1
+                        dpsz = (psi_z[b, zp, x] - psi_z[b, zm, x]) * half_dz_inv
+                        zz_mem = zeta_z[b, z, x]
+                        if a_z[z] != 0.0:
+                            zz_mem = b_z[z] * zz_mem + a_z[z] * (d2z + dpsz)
+                            zeta_z[b, z, x] = zz_mem
+                        lap += dpsz + zz_mem
+                    pn[z, x] = 2.0 * pc[z, x] - pp[z, x] + cd[z, x] * lap
+            pn[src_z[b], src_x[b]] += inject_amps[b, step]
+            if step % record_every == 0:
+                t = step // record_every
+                for r in range(n_rec):
+                    gather[b, t, r] = pn[rec_rows[r], rec_cols[r]]
+        tmp = p_prev
+        p_prev = p_curr
+        p_curr = p_next
+        p_next = tmp
+
+
+class FusedLoopKernel(PropagatorKernel):
+    """Kernel driving the fused loops above.
+
+    Registered as ``"numba"`` when numba is importable.  The class itself
+    works without numba (the loops degrade to plain Python), which is how
+    the parity tests pin the loop bodies on machines without numba —
+    instantiate it directly and pass it as the ``kernel`` of a
+    :class:`~repro.seismic.acoustic2d.BatchedAcousticSimulator2D`.
+    """
+
+    supports_snapshots = False
+
+    def __init__(self, name: str = "numba") -> None:
+        self.name = name
+
+    def run(self, plan: KernelPlan) -> None:
+        nz, nx = plan.grid
+        n_batch = plan.total_batch
+        n_shots = plan.n_shots
+        p_prev = plan.p_prev.reshape(n_batch, nz, nx)
+        p_curr = plan.p_curr.reshape(n_batch, nz, nx)
+        p_next = plan.p_next.reshape(n_batch, nz, nx)
+        c2dt2 = np.ascontiguousarray(plan.c2dt2).reshape(-1, nz, nx)
+        model_of = np.repeat(np.arange(c2dt2.shape[0], dtype=np.int64),
+                             n_batch // c2dt2.shape[0])
+        gather = plan.gather_flat
+        coeffs = plan.ops._coeffs_z
+        pad = coeffs.shape[0] // 2
+        src_z = np.ascontiguousarray(
+            np.tile(plan.src_rows, n_batch // n_shots))
+        src_x = np.ascontiguousarray(
+            np.tile(plan.src_cols, n_batch // n_shots))
+        inject_amps = plan.inject_amps
+        rec_rows = np.ascontiguousarray(plan.rec_rows)
+        rec_cols = np.ascontiguousarray(plan.rec_cols)
+
+        telemetry = plan.telemetry
+        start = perf_counter()
+        if plan.pml is not None:
+            pml = plan.pml
+            leapfrog_pml(
+                p_prev, p_curr, p_next, c2dt2, model_of,
+                plan.ops._coeffs_z, plan.ops._coeffs_x, pad,
+                pml.a_x, pml.b_x, pml.a_z, pml.b_z,
+                pml.x_active, pml.z_active,
+                pml.half_dx_inv, pml.half_dz_inv,
+                pml.psi_x.reshape(n_batch, nz, nx),
+                pml.psi_z.reshape(n_batch, nz, nx),
+                pml.zeta_x.reshape(n_batch, nz, nx),
+                pml.zeta_z.reshape(n_batch, nz, nx),
+                src_z, src_x, inject_amps,
+                rec_rows, rec_cols, gather,
+                plan.n_steps, plan.record_every)
+        else:
+            leapfrog_sponge(
+                p_prev, p_curr, p_next, c2dt2, model_of, plan.mask,
+                plan.ops._coeffs_z, plan.ops._coeffs_x, pad,
+                src_z, src_x, inject_amps,
+                rec_rows, rec_cols, gather,
+                plan.n_steps, plan.record_every)
+        if telemetry.enabled:
+            telemetry.record_timer("propagator.fused_loop",
+                                   perf_counter() - start,
+                                   count=plan.n_steps)

@@ -20,6 +20,9 @@ Variable                    Meaning (default)
 ==========================  =====================================================
 ``QUGEO_BACKEND``           Default simulation backend name (``numpy``)
 ``QUGEO_PROPAGATOR``        Default acoustic propagator name (``batched``)
+``QUGEO_SEISMIC_KERNEL``    Default propagator time-loop kernel (``python``;
+                            also ``numba`` / ``cffi`` when installed)
+``QUGEO_SEISMIC_BOUNDARY``  Default absorbing boundary (``sponge``; ``pml``)
 ``QUGEO_ARRAY_MODULE``      Default array module for numeric engines (``numpy``)
 ``QUGEO_DTYPE``             Default dtype policy (``float64``; also ``float32``)
 ``QUGEO_TELEMETRY``         Telemetry mode (``off``; ``summary`` / ``trace``)
@@ -54,6 +57,8 @@ ENV_PREFIX = "QUGEO_"
 # Canonical variable names (import these instead of retyping strings).
 BACKEND = "QUGEO_BACKEND"
 PROPAGATOR = "QUGEO_PROPAGATOR"
+SEISMIC_KERNEL = "QUGEO_SEISMIC_KERNEL"
+SEISMIC_BOUNDARY = "QUGEO_SEISMIC_BOUNDARY"
 ARRAY_MODULE = "QUGEO_ARRAY_MODULE"
 DTYPE = "QUGEO_DTYPE"
 TELEMETRY = "QUGEO_TELEMETRY"
@@ -81,6 +86,11 @@ class EnvVar:
 KNOWN_VARS: Tuple[EnvVar, ...] = (
     EnvVar(BACKEND, "numpy", "default simulation backend name"),
     EnvVar(PROPAGATOR, "batched", "default acoustic propagator name"),
+    EnvVar(SEISMIC_KERNEL, "python",
+           "default propagator time-loop kernel",
+           ("python", "numba", "cffi")),
+    EnvVar(SEISMIC_BOUNDARY, "sponge",
+           "default absorbing boundary condition", ("sponge", "pml")),
     EnvVar(ARRAY_MODULE, "numpy",
            "default array module for numeric engines",
            ("numpy", "torch", "cupy")),

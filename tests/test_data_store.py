@@ -93,6 +93,25 @@ class TestFingerprint:
         monkeypatch.setenv("QUGEO_PROPAGATOR", "scalar")
         assert dataset_fingerprint(small_config(), 7) != base
 
+    def test_default_boundary_kernel_stride_leave_fingerprint_unchanged(self):
+        # The bit-identity-preserving defaults must hash exactly like configs
+        # minted before the fields existed, so cached shards stay addressable.
+        base = dataset_fingerprint(small_config(), 7)
+        assert dataset_fingerprint(small_config(boundary="sponge"), 7) == base
+        assert dataset_fingerprint(small_config(record_every=1), 7) == base
+
+    def test_changes_with_boundary_and_record_every(self):
+        base = dataset_fingerprint(small_config(), 7)
+        assert dataset_fingerprint(small_config(boundary="pml"), 7) != base
+        assert dataset_fingerprint(small_config(record_every=4), 7) != base
+
+    def test_changes_with_kernel_env(self, monkeypatch):
+        base = dataset_fingerprint(small_config(), 7)
+        monkeypatch.setenv("QUGEO_SEISMIC_KERNEL", "numba")
+        assert dataset_fingerprint(small_config(), 7) != base
+        monkeypatch.setenv("QUGEO_SEISMIC_KERNEL", "python")
+        assert dataset_fingerprint(small_config(), 7) == base
+
     def test_content_fingerprint_is_order_sensitive(self):
         sums = np.array([1.0, 2.0, 3.0])
         vsums = np.array([4.0, 5.0, 6.0])
@@ -347,6 +366,30 @@ class TestShardLoader:
                              max_cached_shards=1)
         loader.gather(np.arange(len(loader)))
         assert len(loader._cache) == 1
+
+    def test_surfaces_time_axis_metadata(self, stored):
+        dataset, loader = stored
+        assert loader.record_every == 1
+        dt = loader._metadata["dt"]
+        assert loader.effective_dt == pytest.approx(dt)
+
+    def test_effective_dt_reflects_record_stride(self, tmp_path):
+        config = small_config(record_every=4)
+        loader = open_or_build(config, seed=4, cache_dir=tmp_path,
+                               stream=True)
+        assert loader.record_every == 4
+        assert loader.effective_dt == pytest.approx(
+            loader._metadata["dt"] * 4)
+        assert loader.seismic_sample_shape[1] == 10  # ceil(40 / 4)
+
+    def test_effective_dt_none_for_legacy_manifests(self, stored):
+        _, loader = stored
+        legacy = loader.subset(np.arange(len(loader)))
+        legacy._metadata = {k: v for k, v in loader._metadata.items()
+                            if k not in ("dt", "effective_dt",
+                                         "record_every")}
+        assert legacy.record_every == 1
+        assert legacy.effective_dt is None
 
     def test_predict_in_batches_streams(self, stored):
         dataset, loader = stored

@@ -6,6 +6,8 @@ supported spatial order, with and without wavefield recording, and on the
 multi-velocity-model path used by dataset generation.
 """
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -23,12 +25,14 @@ from repro.seismic import (
     forward_model_shot_gather,
     get_propagator,
     normalize_per_shot,
+    nyquist_record_stride,
     register_propagator,
     ricker_wavelet,
     set_default_propagator,
     stable_time_step,
     unregister_propagator,
 )
+from repro.seismic.kernels import available_kernels, kernel_available
 from repro.seismic.propagators import (
     DuplicatePropagatorError,
     UnknownPropagatorError,
@@ -294,3 +298,91 @@ class TestCflUpFront:
             stable_time_step(4500.0, dx=10.0, spatial_order=3)
         with pytest.raises(ValueError):
             stable_time_step(-1.0, dx=10.0)
+
+
+class TestKernelParityMatrix:
+    """Every registered time-loop kernel x dtype agrees with the scalar
+    reference (kernels whose optional dependency is missing are skipped,
+    mirroring the optional-engine treatment in tests/test_backends.py)."""
+
+    F32_ATOL = 1e-4
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    @pytest.mark.parametrize("kernel", available_kernels())
+    def test_kernel_matches_scalar_reference(self, kernel, dtype):
+        if not kernel_available(kernel):
+            pytest.skip(f"kernel {kernel!r} is unavailable here")
+        velocity = _layered_velocity(7)
+        config = _config(n_steps=60)
+        wavelet = ricker_wavelet(60, config.dt, 12.0)
+        scalar = AcousticSimulator2D(velocity, config)
+        reference = np.stack([
+            scalar.simulate_shot(src, wavelet, RECEIVERS) for src in SOURCES])
+        gather = BatchedAcousticSimulator2D(
+            velocity, config, policy=dtype, kernel=kernel).simulate_shots(
+                SOURCES, wavelet, RECEIVERS)
+        atol = 1e-10 if dtype == "float64" else self.F32_ATOL
+        assert np.abs(reference).max() > 1e-3
+        np.testing.assert_allclose(gather, reference, atol=atol, rtol=0.0)
+
+    def test_forward_model_threads_kernel_selection(self):
+        survey = SurveyGeometry(n_sources=2, n_receivers=12, nx=24)
+        velocity = _layered_velocity(3)
+        base = ForwardModel(survey=survey, config=_config(n_steps=50))
+        explicit = ForwardModel(survey=survey, config=_config(n_steps=50),
+                                kernel="python")
+        np.testing.assert_array_equal(base.model_shots(velocity),
+                                      explicit.model_shots(velocity))
+
+    def test_forward_model_rejects_kernel_on_scalar_engine(self):
+        survey = SurveyGeometry(n_sources=1, n_receivers=12, nx=24)
+        model = ForwardModel(survey=survey, config=_config(n_steps=20),
+                             propagator="scalar", kernel="python")
+        with pytest.raises(ValueError, match="kernel"):
+            model.model_shots(_layered_velocity(3))
+
+
+class TestRecordEveryDecimation:
+    def test_decimated_gather_is_a_stride_of_the_full_gather(self):
+        velocity = _layered_velocity(11)
+        full_config = _config(n_steps=60)
+        wavelet = ricker_wavelet(60, full_config.dt, 12.0)
+        full = BatchedAcousticSimulator2D(
+            velocity, full_config).simulate_shots(SOURCES, wavelet, RECEIVERS)
+        decimated_config = dataclasses.replace(full_config, record_every=5)
+        assert decimated_config.n_recorded == 12
+        assert decimated_config.effective_dt == pytest.approx(
+            5 * full_config.dt)
+        decimated = BatchedAcousticSimulator2D(
+            velocity, decimated_config).simulate_shots(SOURCES, wavelet,
+                                                       RECEIVERS)
+        assert decimated.shape == (3, 12, len(RECEIVERS))
+        np.testing.assert_array_equal(decimated, full[:, ::5, :])
+
+    def test_scalar_engine_decimates_identically(self):
+        velocity = _layered_velocity(11)
+        config = dataclasses.replace(_config(n_steps=60), record_every=4)
+        wavelet = ricker_wavelet(60, config.dt, 12.0)
+        scalar = AcousticSimulator2D(velocity, config)
+        reference = np.stack([
+            scalar.simulate_shot(src, wavelet, RECEIVERS) for src in SOURCES])
+        batched = BatchedAcousticSimulator2D(
+            velocity, config).simulate_shots(SOURCES, wavelet, RECEIVERS)
+        assert reference.shape == (3, 15, len(RECEIVERS))
+        np.testing.assert_allclose(batched, reference, atol=1e-10, rtol=0.0)
+
+    def test_record_every_validation(self):
+        with pytest.raises(ValueError, match="record_every"):
+            SimulationConfig(n_steps=10, record_every=0)
+        with pytest.raises(ValueError, match="record_every"):
+            SimulationConfig(n_steps=10, record_every=1.5)
+
+    def test_nyquist_stride_bounds(self):
+        config = _config(n_steps=60)
+        stride = nyquist_record_stride(config.dt, 15.0)
+        assert stride >= 1
+        # The stride must keep the sampling rate above the oversampled
+        # band-edge Nyquist rate.
+        assert 1.0 / (config.dt * stride) >= 2 * 2.0 * 3.0 * 15.0
+        assert nyquist_record_stride(1e-3, 15.0) == 5
+        assert nyquist_record_stride(0.5, 15.0) == 1  # never below 1
