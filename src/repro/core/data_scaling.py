@@ -22,7 +22,7 @@ the configured scaled shape and whose velocity map is normalised to [0, 1].
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
 

@@ -18,7 +18,7 @@ loss of the whole batch from a single adjoint sweep.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 

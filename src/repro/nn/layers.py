@@ -9,8 +9,7 @@ parameter budgets across quantum and classical models).
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 

@@ -11,9 +11,8 @@ cross-group CU3 gates (Section 3.2.2).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-import numpy as np
 
 from repro.quantum.circuit import ParameterizedCircuit
 

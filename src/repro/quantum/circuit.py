@@ -10,7 +10,7 @@ gradient computation in :mod:`repro.quantum.autodiff` straightforward.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -18,7 +18,6 @@ count statistics (2-5 layers for the "A" difficulty tier).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 import numpy as np
 

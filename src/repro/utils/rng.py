@@ -17,7 +17,7 @@ straight to :func:`ensure_rng`.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 

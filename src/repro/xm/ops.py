@@ -21,12 +21,11 @@ first contraction.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Union
 
 import numpy as np
 
 from repro.utils import env
-from repro.xm.policy import DTypePolicy
 
 
 class ArrayModuleError(RuntimeError):

@@ -1,6 +1,5 @@
 """Tests for the QuGeo configuration dataclasses."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import (

@@ -1,13 +1,11 @@
 """Tests for the sharded dataset store and parallel generation."""
 
-import dataclasses
 import json
 import pickle
 
 import numpy as np
 import pytest
 
-from repro.core.config import QuGeoDataConfig
 from repro.core.training import ArrayDataSource, Trainer, predict_in_batches
 from repro.data import (
     DatasetStore,
@@ -23,7 +21,7 @@ from repro.data import (
     save_dataset,
     train_test_split,
 )
-from repro.data.store import DATA_FORMAT_VERSION, build_dataset, content_fingerprint
+from repro.data.store import DATA_FORMAT_VERSION, content_fingerprint
 from repro.seismic.acoustic2d import SimulationConfig
 from repro.seismic.boundary import SpongeBoundary
 from repro.seismic.forward_modeling import ForwardModel

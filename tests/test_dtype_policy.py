@@ -31,7 +31,6 @@ from repro.seismic import (
 from repro.xm import (
     FLOAT32,
     FLOAT64,
-    DTypePolicy,
     available_policies,
     ensure_complex,
     get_dtype_policy,

@@ -11,7 +11,6 @@ from repro.nn import (
     Linear,
     MaxPool2d,
     MSELoss,
-    Module,
     ReLU,
     Sequential,
     Sigmoid,

@@ -30,7 +30,6 @@ from repro.seismic import (
 from repro.seismic.kernels import (
     DuplicateKernelError,
     KernelUnavailableError,
-    PropagatorKernel,
     PythonKernel,
     UnknownKernelError,
     available_kernels,
