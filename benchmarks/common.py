@@ -37,7 +37,6 @@ with an unchanged configuration then performs zero forward-modelling calls.
 from __future__ import annotations
 
 import json
-import os
 import platform
 import subprocess
 import sys
@@ -336,4 +335,4 @@ def add_cache_dir_argument(parser) -> None:
 def apply_cache_dir(path: Optional[Union[str, Path]]) -> None:
     """Export ``--cache-dir`` so every dataset build in the process sees it."""
     if path:
-        os.environ[env.CACHE_DIR] = str(path)
+        env.set_var(env.CACHE_DIR, str(path))

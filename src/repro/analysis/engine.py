@@ -1,0 +1,147 @@
+"""The lint engine: file collection, rule dispatch, suppression filtering.
+
+:func:`lint_paths` is the library entry point the CLI, the pre-commit hook
+and the test suite all share.  It parses every ``.py`` file under the given
+paths once, runs the selected per-file rules over each parse tree, runs the
+project-level rules once against the :class:`~repro.analysis.base.Project`
+view, filters findings through per-line suppressions, and returns a
+:class:`LintResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+# Importing the rules package registers the built-in rules.
+import repro.analysis.rules  # noqa: F401  (imported for registration)
+from repro.analysis.base import (
+    Project,
+    SourceFile,
+    find_project_root,
+    iter_python_files,
+    load_source_file,
+)
+from repro.analysis.findings import PARSE_ERROR_CODE, Finding
+from repro.analysis.registry import resolve_rules
+
+#: What ``qugeo-lint`` checks when invoked with no path arguments.
+DEFAULT_PATHS = ("src", "benchmarks", "examples")
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding]
+    files: List[str]
+    rules: List[str]
+    project_root: str
+
+    @property
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON document (schema asserted in ``tests/test_analysis_lint.py``)."""
+        return {
+            "version": 1,
+            "project_root": self.project_root,
+            "rules": list(self.rules),
+            "files_checked": len(self.files),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "summary": {
+                "findings": len(self.findings),
+                "by_rule": self.counts_by_rule,
+            },
+        }
+
+
+@dataclass
+class _Run:
+    project: Project
+    sources: List[SourceFile] = field(default_factory=list)
+
+    @property
+    def by_rel_path(self) -> Dict[str, SourceFile]:
+        return {sf.rel_path: sf for sf in self.sources}
+
+
+def _collect_sources(paths: Sequence[Union[str, Path]], root: Path
+                     ) -> List[SourceFile]:
+    seen: Dict[Path, None] = {}
+    for path in paths:
+        for file_path in iter_python_files(Path(path)):
+            seen.setdefault(file_path.resolve(), None)
+    return [load_source_file(path, root) for path in sorted(seen)]
+
+
+def lint_paths(paths: Optional[Sequence[Union[str, Path]]] = None,
+               *,
+               select: Optional[Iterable[str]] = None,
+               ignore: Optional[Iterable[str]] = None,
+               project_root: Optional[Union[str, Path]] = None) -> LintResult:
+    """Lint every python file under ``paths`` with the selected rules.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to lint (default: :data:`DEFAULT_PATHS`,
+        resolved against the project root).
+    select / ignore:
+        Rule codes or names restricting the run (``None`` = all rules).
+    project_root:
+        Explicit project root for path-scoped rules and the project-level
+        passes; auto-detected from the first path (nearest
+        ``pyproject.toml`` / ``.git``) when omitted.
+    """
+    if project_root is not None:
+        root = Path(project_root).resolve()
+    else:
+        probe = Path(paths[0]) if paths else Path.cwd()
+        root = find_project_root(probe)
+    if paths is None:
+        paths = [root / part for part in DEFAULT_PATHS
+                 if (root / part).exists()]
+    rules = resolve_rules(select, ignore)
+    run = _Run(project=Project(root=root),
+               sources=_collect_sources(paths, root))
+
+    findings: List[Finding] = []
+    for sf in run.sources:
+        if sf.parse_error is not None:
+            findings.append(Finding(path=sf.rel_path,
+                                    line=sf.parse_error_line, col=0,
+                                    rule=PARSE_ERROR_CODE,
+                                    message=sf.parse_error))
+
+    for rule in rules:
+        for sf in run.sources:
+            for finding in rule.check_file(sf):
+                if not sf.is_suppressed(finding):
+                    findings.append(finding)
+
+    by_rel_path = run.by_rel_path
+    for rule in rules:
+        for finding in rule.check_project(run.project):
+            sf = by_rel_path.get(finding.path)
+            if sf is None:
+                # Finding in a file outside the linted set (e.g. a
+                # registration under src/ when only benchmarks/ was linted):
+                # honour its suppressions anyway.
+                target = run.project.root / finding.path
+                if target.is_file():
+                    sf = load_source_file(target, run.project.root)
+            if sf is not None and sf.is_suppressed(finding):
+                continue
+            findings.append(finding)
+
+    findings.sort()
+    return LintResult(findings=findings,
+                      files=[sf.rel_path for sf in run.sources],
+                      rules=[rule.code for rule in rules],
+                      project_root=str(root))

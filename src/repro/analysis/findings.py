@@ -1,0 +1,53 @@
+"""The :class:`Finding` record emitted by every lint rule.
+
+A finding pins one invariant violation to a file position.  Findings are
+plain data — the CLI decides how to render them (human ``path:line:col``
+lines, a summary table, or JSON), and the test suite compares them
+structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+#: Engine-level pseudo-rule for files the linter cannot parse at all.
+PARSE_ERROR_CODE = "QG000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One invariant violation at a source position.
+
+    Attributes
+    ----------
+    path:
+        Project-relative POSIX path of the offending file.
+    line / col:
+        1-based line and 0-based column (AST convention) of the violation.
+    rule:
+        The rule code (``QG001`` ... ``QG007``, or :data:`PARSE_ERROR_CODE`
+        for unparseable files).
+    message:
+        Human-readable description including the remediation.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """Render as a compiler-style ``path:line:col: CODE message`` line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-ready payload (schema asserted in ``tests/test_analysis_lint.py``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

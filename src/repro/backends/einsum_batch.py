@@ -204,7 +204,10 @@ class EinsumBatchBackend(SimulationBackend):
         subscripts = _apply_subscripts(n_qubits, tuple(targets), gate_batched)
         if (self.xm.supports_einsum_path
                 and self.xm.size(tensor) >= self.path_threshold):
-            return np.einsum(subscripts, gate, tensor,
+            # The optimize= contraction-path cache is a host-NumPy-only fast
+            # path: the guard above required supports_einsum_path, and the
+            # generic branch below stays on the xm waist.
+            return np.einsum(subscripts, gate, tensor,  # qugeo-lint: disable=QG003 -- host-numpy fast path by design
                              optimize=self._contraction_path(
                                  subscripts, gate, tensor))
         return self.xm.einsum(subscripts, gate, tensor)

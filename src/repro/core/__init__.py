@@ -41,6 +41,7 @@ from repro.core.training import (
     Callback,
     Checkpoint,
     ClassicalTrainer,
+    DataSource,
     EarlyStopping,
     EvalCallback,
     Model,
@@ -64,6 +65,7 @@ from repro.core.experiment import (
 __all__ = [
     "Trainer",
     "Model",
+    "DataSource",
     "StepStrategy",
     "select_step_strategy",
     "predict_in_batches",

@@ -104,6 +104,27 @@ class Model(Protocol):
         """Load arrays produced by :meth:`state_dict`."""
 
 
+@runtime_checkable
+class DataSource(Protocol):
+    """What the training engine requires of a dataset source.
+
+    :class:`ArrayDataSource` (stacked in-memory arrays),
+    :class:`repro.data.store.ShardLoader` (streaming on-disk shards) and
+    :class:`repro.robustness.perturbations.PerturbedView` (perturbations
+    applied on gather) all satisfy it, so the trainer never needs to know
+    where samples physically live.
+    """
+
+    def __len__(self) -> int:
+        """Number of samples."""
+
+    def gather(self, indices: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        """``(flattened seismic, velocity maps)`` for the given sample rows."""
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Cheap order-sensitive identity (see ``content_fingerprint``)."""
+
+
 # --------------------------------------------------------------------------- #
 # results and shared helpers
 # --------------------------------------------------------------------------- #
@@ -157,7 +178,7 @@ class ArrayDataSource:
     def __len__(self) -> int:
         return int(self.seismic.shape[0])
 
-    def gather(self, indices) -> Tuple[np.ndarray, np.ndarray]:
+    def gather(self, indices: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
         return self.seismic[indices], self.velocity[indices]
 
     def fingerprint(self) -> Dict[str, object]:
@@ -169,8 +190,8 @@ class ArrayDataSource:
             self.velocity.reshape(n, -1).sum(axis=1))
 
 
-def _as_data_source(dataset):
-    """Coerce a dataset (or ``None``) into the data-source protocol.
+def _as_data_source(dataset) -> Optional[DataSource]:
+    """Coerce a dataset (or ``None``) into the :class:`DataSource` protocol.
 
     Objects already implementing ``gather``/``fingerprint``/``__len__``
     (e.g. :class:`repro.data.store.ShardLoader`) pass through untouched;
@@ -183,7 +204,8 @@ def _as_data_source(dataset):
     return ArrayDataSource(*_dataset_arrays(dataset))
 
 
-def _dataset_fingerprint(source) -> Optional[Dict[str, object]]:
+def _dataset_fingerprint(source: Optional[DataSource]
+                         ) -> Optional[Dict[str, object]]:
     """Cheap identity of a dataset source.
 
     Shapes, content sums, and a position-weighted digest — the latter makes

@@ -192,7 +192,7 @@ def _atomic_replace(path: Path, write_fn) -> None:
     except BaseException:
         try:
             os.unlink(tmp_name)
-        except OSError:
+        except OSError:  # qugeo-lint: disable=QG005 -- best-effort temp cleanup; the original error re-raises below
             pass
         raise
 
@@ -608,7 +608,7 @@ class ShardLoader:
             yield batch
 
     # -- data-source protocol (training engine) -------------------------- #
-    def gather(self, indices) -> Tuple[np.ndarray, np.ndarray]:
+    def gather(self, indices: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
         """Stack ``(flattened seismic, velocity)`` for the given positions.
 
         Loads only the shards the positions touch, one shard at a time —

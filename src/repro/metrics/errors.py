@@ -7,10 +7,12 @@ completeness and for the extended benchmark output.
 
 from __future__ import annotations
 
+from typing import Tuple
+
 import numpy as np
 
 
-def _as_float_arrays(prediction, target):
+def _as_float_arrays(prediction, target) -> Tuple[np.ndarray, np.ndarray]:
     prediction = np.asarray(prediction, dtype=np.float64)
     target = np.asarray(target, dtype=np.float64)
     if prediction.shape != target.shape:

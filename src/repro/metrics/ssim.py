@@ -17,12 +17,14 @@ batch of predictions costs the same filter passes as one image.  For a stack
 
 from __future__ import annotations
 
+from typing import Tuple, Union
+
 import numpy as np
 from scipy.ndimage import uniform_filter
 from scipy.ndimage import gaussian_filter
 
 
-def _validate(a, b):
+def _validate(a, b) -> Tuple[np.ndarray, np.ndarray]:
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
     if a.shape != b.shape:
@@ -108,7 +110,8 @@ def ssim_map(image: np.ndarray, reference: np.ndarray, *,
     return numerator / denominator
 
 
-def ssim(image: np.ndarray, reference: np.ndarray, **kwargs):
+def ssim(image: np.ndarray, reference: np.ndarray,
+         **kwargs) -> Union[float, np.ndarray]:
     """Mean SSIM between ``image`` and ``reference``.
 
     Accepts the same keyword arguments as :func:`ssim_map`.  Identical inputs

@@ -328,7 +328,7 @@ class PerturbedView:
             return positions
         return np.asarray(indices)[positions]
 
-    def gather(self, indices) -> Tuple[np.ndarray, np.ndarray]:
+    def gather(self, indices: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
         positions = np.asarray(indices, dtype=int).reshape(-1)
         seismic, velocity = self._source.gather(positions)
         seismic = np.array(seismic, dtype=np.float64, copy=True)

@@ -188,7 +188,7 @@ def _cffi_factory() -> PropagatorKernel:
 
 register_kernel("python", _python_factory)
 register_kernel("numba", _numba_factory)
-register_kernel("cffi", _cffi_factory)
+register_kernel("cffi", _cffi_factory)  # qugeo-lint: placeholder -- declared engine; compiled extension not shipped yet
 
 __all__ = [
     "KERNEL_ENV_VAR",

@@ -47,9 +47,10 @@ Use :func:`describe` to see every known variable with its current value.
 
 from __future__ import annotations
 
+import contextlib
 import os
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 #: Prefix shared by every environment switch of the stack.
 ENV_PREFIX = "QUGEO_"
@@ -184,6 +185,42 @@ def get_flag(name: str, default: bool = False) -> bool:
 def get_path(name: str, default: Optional[str] = None) -> Optional[str]:
     """A filesystem path value (no existence check), or ``default``."""
     return get_str(name, default)
+
+
+def set_var(name: str, value: Optional[str]) -> None:
+    """Set (or, with ``None``, unset) a ``QUGEO_*`` variable for this process.
+
+    This is the single sanctioned write path to the process environment —
+    the invariant linter's QG001 rule flags direct ``os.environ`` writes
+    anywhere else, so every export is findable here.  ``name`` must carry
+    the ``QUGEO_`` prefix: this module owns the stack's switches, not the
+    host environment at large.
+    """
+    if not name.startswith(ENV_PREFIX):
+        raise ValueError(
+            f"set_var only manages {ENV_PREFIX}* variables, got {name!r}")
+    if value is None:
+        os.environ.pop(name, None)
+    else:
+        os.environ[name] = str(value)
+
+
+@contextlib.contextmanager
+def scoped(name: str, value: Optional[str]) -> Iterator[None]:
+    """Temporarily override a ``QUGEO_*`` variable, restoring it on exit.
+
+    Useful in tests and benchmark sweeps that pivot an engine switch for
+    one measurement without leaking it to later cases.
+    """
+    if not name.startswith(ENV_PREFIX):
+        raise ValueError(
+            f"scoped only manages {ENV_PREFIX}* variables, got {name!r}")
+    previous = os.environ.get(name)
+    set_var(name, value)
+    try:
+        yield
+    finally:
+        set_var(name, previous)
 
 
 def describe() -> Dict[str, Dict[str, Optional[str]]]:

@@ -75,7 +75,7 @@ def save_checkpoint(path: PathLike, payload: Dict[str, object]) -> None:
     except BaseException:
         try:
             os.unlink(tmp_name)
-        except OSError:
+        except OSError:  # qugeo-lint: disable=QG005 -- best-effort temp cleanup; the original error re-raises below
             pass
         raise
 

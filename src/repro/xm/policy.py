@@ -26,7 +26,7 @@ box).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -86,7 +86,7 @@ _DEFAULT_NAME = "float64"
 PolicySpec = Union[None, str, DTypePolicy]
 
 
-def available_policies():
+def available_policies() -> List[str]:
     """Sorted names of every known dtype policy."""
     return sorted(_POLICIES)
 
